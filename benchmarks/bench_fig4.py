@@ -1,0 +1,28 @@
+"""Bench: Fig. 4 (precision-bit histograms for three requirements)."""
+
+from repro.analysis import fig4
+
+
+def test_fig4(benchmark, cfg, save_rendered):
+    fig4.compute(cfg)  # warm tuning cache
+    result = benchmark.pedantic(
+        fig4.compute, args=(cfg,), rounds=1, iterations=1
+    )
+    save_rendered("fig4", fig4.render(result))
+
+    matrix = result["matrix"]
+    # Tightening the requirement must never lower any app's precision
+    # mass: the location-weighted mean precision is monotone.
+    def mean_precision(hist):
+        total = sum(hist.values())
+        return sum(p * n for p, n in hist.items()) / total
+
+    for app_name in cfg.apps:
+        loose = mean_precision(matrix[1e-1][app_name])
+        tight = mean_precision(matrix[1e-3][app_name])
+        assert tight >= loose - 1e-9
+
+    # KNN concentrates in the binary8 band at the loose requirement.
+    knn = matrix[1e-1]["knn"]
+    b8_mass = sum(n for p, n in knn.items() if p <= 3)
+    assert b8_mass / sum(knn.values()) > 0.9

@@ -1,0 +1,28 @@
+"""Bench: Fig. 5 (dynamic FP-operation breakdown per format)."""
+
+from repro.analysis import fig5
+
+
+def test_fig5(benchmark, cfg, save_rendered):
+    fig5.compute(cfg)  # warm tuning cache
+    result = benchmark.pedantic(
+        fig5.compute, args=(cfg,), rounds=1, iterations=1
+    )
+    save_rendered("fig5", fig5.render(result))
+
+    for precision, per_app in result["breakdown"].items():
+        # JACOBI never vectorizes (paper: pathological).
+        assert per_app["jacobi"]["vector_fraction"] == 0.0
+        # KNN and CONV are (near-)fully vectorizable at this scale.
+        assert per_app["knn"]["vector_fraction"] > 0.9
+        assert per_app["conv"]["vector_fraction"] > 0.9
+        # SVM sits in the paper's ~60% band.
+        assert 0.4 < per_app["svm"]["vector_fraction"] <= 1.0
+
+    # Headline: up to ~90% of FP operations scale below 32 bits.
+    best = max(
+        data["below32_fraction"]
+        for per_app in result["breakdown"].values()
+        for data in per_app.values()
+    )
+    assert best >= 0.9

@@ -1,0 +1,26 @@
+"""Bench: Fig. 6 (memory accesses and cycles vs binary32 baseline)."""
+
+from repro.analysis import fig6
+
+
+def test_fig6(benchmark, cfg, save_rendered):
+    fig6.compute(cfg)  # warm tuning cache
+    result = benchmark.pedantic(
+        fig6.compute, args=(cfg,), rounds=1, iterations=1
+    )
+    save_rendered("fig6", fig6.render(result))
+
+    avg = result["averages"]
+    # Shape: both resources drop on average, memory more than cycles.
+    assert avg["cycles_ratio"] < 1.0
+    assert avg["memory_ratio"] < 1.0
+    assert avg["memory_ratio"] <= avg["cycles_ratio"] + 0.1
+    # Excluding the outliers improves both (paper: 12->17%, 27->36%).
+    assert avg["cycles_ratio_no_outliers"] <= avg["cycles_ratio"]
+    assert avg["memory_ratio_no_outliers"] <= avg["memory_ratio"]
+
+    # JACOBI never gains memory accesses (no vector loads).
+    for per_app in result["rows"].values():
+        assert per_app["jacobi"]["memory_ratio"] >= 0.99
+        # SVM posts a large memory reduction (paper: the suite's best).
+        assert per_app["svm"]["memory_ratio"] < 0.75

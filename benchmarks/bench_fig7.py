@@ -1,0 +1,27 @@
+"""Bench: Fig. 7 (energy vs binary32 baseline + PCA manual vec)."""
+
+from repro.analysis import fig7
+
+
+def test_fig7(benchmark, cfg, save_rendered):
+    fig7.compute(cfg)  # warm tuning cache
+    result = benchmark.pedantic(
+        fig7.compute, args=(cfg,), rounds=1, iterations=1
+    )
+    save_rendered("fig7", fig7.render(result))
+
+    avg = result["averages"]
+    assert avg["energy_ratio"] < 1.0  # fleet saves energy
+    assert avg["min_energy_ratio"] < 0.75  # a strong best case exists
+
+    for precision, per_app in result["rows"].items():
+        # JACOBI and PCA are the weakest savers (paper's outliers).
+        best_two = sorted(
+            per_app, key=lambda name: per_app[name]["energy_ratio"]
+        )[-2:]
+        assert set(best_two) <= {"jacobi", "pca"}
+
+    # PCA manual vectorization helps at every precision level.
+    for precision, manual_ratio in result["pca_manual"].items():
+        default_ratio = result["rows"][precision]["pca"]["energy_ratio"]
+        assert manual_ratio <= default_ratio + 1e-9

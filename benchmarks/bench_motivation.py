@@ -1,0 +1,19 @@
+"""Bench: the intro motivation measurement (binary32 baseline split).
+
+Regenerates the ~30% FP-ops / ~20% operand-movement numbers and times a
+full baseline platform replay of the whole fleet.
+"""
+
+from repro.analysis import motivation
+
+
+def test_motivation_split(benchmark, cfg, save_rendered):
+    result = benchmark.pedantic(
+        motivation.compute, args=(cfg,), rounds=2, iterations=1
+    )
+    save_rendered("motivation", motivation.render(result))
+    fleet = result["fleet"]
+    # The calibrated model must keep the paper's shape.
+    assert 0.20 <= fleet["fp"] <= 0.40
+    assert 0.12 <= fleet["mem"] <= 0.28
+    assert fleet["other"] >= 0.40

@@ -1,0 +1,23 @@
+"""Bench: headline-claims summary and the ablation table."""
+
+from repro.analysis import ablation, summary
+
+
+def test_summary(benchmark, cfg, save_rendered):
+    summary.compute(cfg)  # warm tuning cache
+    result = benchmark.pedantic(
+        summary.compute, args=(cfg,), rounds=1, iterations=1
+    )
+    save_rendered("summary", summary.render(result))
+    assert len(result["rows"]) == 8
+
+
+def test_ablation(benchmark, cfg, save_rendered):
+    ablation.compute(cfg)  # warm tuning cache (incl. the no-b8 system)
+    result = benchmark.pedantic(
+        ablation.compute, args=(cfg,), rounds=1, iterations=1
+    )
+    save_rendered("ablation", ablation.render(result))
+    for app_name, data in result["rows"].items():
+        # Stripping casts can only help.
+        assert data["cast_free"] <= data["v2"] + 1e-9

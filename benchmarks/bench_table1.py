@@ -1,0 +1,21 @@
+"""Bench: Table I (variables classified by type under V1 and V2)."""
+
+from repro.analysis import table1
+
+
+def test_table1(benchmark, cfg, save_rendered):
+    table1.compute(cfg)  # warm the tuning cache outside the timing
+    result = benchmark.pedantic(
+        table1.compute, args=(cfg,), rounds=1, iterations=1
+    )
+    save_rendered("table1", table1.render(result))
+
+    v1 = result["totals"]["V1"]
+    v2 = result["totals"]["V2"]
+    # V1 has no binary16alt by construction.
+    assert v1["binary16alt"] == 0
+    # Paper's key point: V2 never needs *more* binary32 variables.
+    assert v2["binary32"] <= v1["binary32"]
+    # binary8 captures a real share of variables.
+    total = sum(v2.values())
+    assert v2["binary8"] / total > 0.15

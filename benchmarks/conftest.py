@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table/figure bench uses one session-scoped configuration whose
+tuning results persist under ``results/tuning-small`` -- the first run
+tunes (a couple of minutes), subsequent runs replay from the cache.
+Rendered tables are written to ``results/bench/*.txt`` so the series the
+paper reports can be inspected after a ``pytest benchmarks/`` run.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ExperimentConfig
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def cfg() -> ExperimentConfig:
+    cache = RESULTS_DIR / "tuning-small"
+    cache.mkdir(parents=True, exist_ok=True)
+    return ExperimentConfig(scale="small", cache_dir=cache)
+
+
+@pytest.fixture(scope="session")
+def save_rendered():
+    out_dir = RESULTS_DIR / "bench"
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save

@@ -1,0 +1,62 @@
+"""Precision-tune the KNN kernel end to end (paper Fig. 2 flow).
+
+Walks all five steps of the transprecision programming flow on the KNN
+application and prints what the paper's Figs. 4-7 would show for it.
+
+Run with::
+
+    python examples/tune_knn.py [precision]   # default 1e-1
+"""
+
+import sys
+
+from repro.apps import KnnApp
+from repro.core import collect
+from repro.flow import TransprecisionFlow
+from repro.tuning import V2, precision_to_sqnr_db
+
+
+def main() -> None:
+    precision = float(sys.argv[1]) if len(sys.argv) > 1 else 1e-1
+    app = KnnApp("small")
+    target = precision_to_sqnr_db(precision)
+    print(f"Tuning {app.name} for precision {precision:g} "
+          f"(SQNR >= {target:.0f} dB), type system V2\n")
+
+    # Steps 1-3: tune and map to storage formats.
+    flow = TransprecisionFlow(app, V2, precision, cache_dir=None)
+    tuning = flow.tune()
+    binding = tuning.storage_binding(V2)
+    print("Step 2-3: tuned precision bits and storage formats")
+    for spec in app.variables():
+        bits = tuning.precision[spec.name]
+        print(f"  {spec.name:8s} {spec.size:5d} locations  "
+              f"{bits:2d} bits -> {binding[spec.name].name}")
+    print(f"  ({tuning.evaluations} program evaluations, achieved "
+          + ", ".join(f"{v:.1f} dB" for v in tuning.achieved_db.values())
+          + ")\n")
+
+    # Step 4: statistics from the emulated run.
+    with collect() as stats:
+        app.run_numeric(binding, 0)
+    print("Step 4: FP operation statistics (Fig. 5 view)")
+    for fmt, count in sorted(stats.ops_by_format().items()):
+        print(f"  {fmt:12s} {count:7d} ops")
+    print(f"  vectorizable: {stats.vector_fraction():.0%}, "
+          f"casts: {stats.total_casts()}\n")
+
+    # Step 5: native execution on the virtual platform.
+    result = flow.run()
+    base = result.baseline_report
+    tuned = result.tuned_report
+    print("Step 5: virtual-platform replay (Figs. 6-7 view)")
+    print(f"  cycles          {base.cycles:8d} -> {tuned.cycles:8d}  "
+          f"({result.cycles_ratio:.2f}x)")
+    print(f"  memory accesses {base.memory_accesses:8d} -> "
+          f"{tuned.memory_accesses:8d}  ({result.memory_ratio:.2f}x)")
+    print(f"  energy          {base.energy_pj / 1e3:8.1f} -> "
+          f"{tuned.energy_pj / 1e3:8.1f} nJ ({result.energy_ratio:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Setuptools shim.
+
+``pip install -e .`` requires the ``wheel`` package to build editable
+wheels; on fully offline machines without it, either run
+``python setup.py develop --no-deps`` or drop a ``.pth`` file pointing at
+``src/`` into site-packages (equivalent for a pure-Python package):
+
+    python - <<'EOF'
+    import site, pathlib
+    sp = pathlib.Path(site.getsitepackages()[0])
+    (sp / "repro-dev.pth").write_text(str(pathlib.Path("src").resolve()))
+    EOF
+"""
+
+from setuptools import setup
+
+setup()

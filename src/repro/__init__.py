@@ -1,0 +1,30 @@
+"""repro: reproduction of "A Transprecision Floating-Point Platform for
+Ultra-Low Power Computing" (Tagliavini et al., DATE 2018).
+
+Subpackages
+-----------
+``repro.core``
+    FlexFloat emulation: formats, bit-exact quantization, scalar and array
+    types, operation/cast statistics.
+``repro.tuning``
+    Precision tuning: SQNR metric, DistributedSearch reimplementation,
+    precision-to-format mapping (type systems V1/V2), the FlexFloat
+    wrapper.
+``repro.hardware``
+    Transprecision FPU model (slices, SIMD, latency, energy) and a
+    PULPino-like virtual platform (mini-ISA, in-order pipeline, memory).
+``repro.apps``
+    The six evaluation kernels (JACOBI, KNN, PCA, DWT, SVM, CONV) in both
+    numeric (FlexFloat) and kernel (ISA program) form.
+``repro.flow``
+    The five-step transprecision programming flow of Fig. 2.
+``repro.analysis``
+    Drivers regenerating Table I and Figures 4-7 plus the motivation
+    experiment and the headline-claims summary.
+"""
+
+__version__ = "1.0.0"
+
+from . import core
+
+__all__ = ["core", "__version__"]

@@ -1,0 +1,41 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each submodule exposes ``compute(config) -> dict`` and
+``render(result) -> str``:
+
+* :mod:`repro.analysis.motivation` -- intro energy-split measurement;
+* :mod:`repro.analysis.table1` -- Table I (V1 vs V2 variable counts);
+* :mod:`repro.analysis.fig4` -- precision-bit histograms;
+* :mod:`repro.analysis.fig5` -- dynamic FP-operation breakdown;
+* :mod:`repro.analysis.fig6` -- memory accesses and cycles vs baseline;
+* :mod:`repro.analysis.fig7` -- energy vs baseline (+ PCA manual vec);
+* :mod:`repro.analysis.summary` -- headline claims, paper vs measured;
+* :mod:`repro.analysis.ablation` -- cast-cost / binary8 / latency / V1.
+"""
+
+from . import (
+    ablation,
+    export,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    motivation,
+    summary,
+    table1,
+)
+from .common import ExperimentConfig, flow_result
+
+__all__ = [
+    "ExperimentConfig",
+    "flow_result",
+    "motivation",
+    "table1",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "summary",
+    "ablation",
+    "export",
+]

@@ -1,0 +1,109 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. **Cast cost** (§V-C/VI): the paper blames precision tuners that
+   ignore cast costs for PCA's regression; re-running the tuned kernels
+   with every conversion instruction stripped bounds what a cast-aware
+   tuner could recover.
+2. **binary8 removal**: retune under V2 without the 8-bit format to see
+   how much of the win the smallest format carries.
+3. **16-bit latency sensitivity**: latency 1 vs the paper's pipelined
+   latency 2 for the 16-bit slices.
+4. **V1 vs V2**: end-to-end energy under both type systems.
+"""
+
+from __future__ import annotations
+
+from repro.apps import make_app
+from repro.core import BINARY16, BINARY16ALT, BINARY32
+from repro.flow import TransprecisionFlow
+from repro.hardware import Kind, Program, VirtualPlatform
+from repro.tuning import MAX_PRECISION_BITS, V1, V2, TypeSystem
+
+from .common import ExperimentConfig, flow_result, format_table
+
+__all__ = ["compute", "render", "V2_NO8"]
+
+#: V2 without binary8: the narrowest interval folds into binary16alt.
+V2_NO8 = TypeSystem(
+    "V2no8",
+    (
+        (8, BINARY16ALT),
+        (11, BINARY16),
+        (MAX_PRECISION_BITS, BINARY32),
+    ),
+)
+
+
+def _strip_casts(program: Program) -> Program:
+    kept = [i for i in program.instrs if i.kind != Kind.CAST]
+    return Program(program.name, kept, program.arrays)
+
+
+def compute(cfg: ExperimentConfig | None = None) -> dict:
+    cfg = cfg or ExperimentConfig()
+    platform = VirtualPlatform()
+    fast16 = VirtualPlatform(
+        fp_latency_override={"binary16": 1, "binary16alt": 1}
+    )
+    precision = 1e-1
+    result: dict = {"rows": {}}
+
+    for app_name in cfg.apps:
+        flow = flow_result(cfg, app_name, V2, precision)
+        app = make_app(app_name, cfg.scale)
+        base_energy = flow.baseline_report.energy_pj
+
+        # 1. cast-free bound
+        tuned_program = app.build_program(flow.binding, 0, vectorize=True)
+        castless = platform.run(_strip_casts(tuned_program))
+
+        # 2. no-binary8 type system (own tuning cache entry)
+        no8_flow = TransprecisionFlow(
+            make_app(app_name, cfg.scale), V2_NO8, precision,
+            cache_dir=cfg.resolved_cache_dir(),
+        ).run()
+
+        # 3. 16-bit latency 1
+        fast = fast16.run(tuned_program)
+
+        # 4. V1 binding
+        v1_flow = flow_result(cfg, app_name, V1, precision)
+
+        result["rows"][app_name] = {
+            "v2": flow.energy_ratio,
+            "cast_free": castless.energy_pj / base_energy,
+            "no_binary8": no8_flow.energy_ratio,
+            "v1": v1_flow.energy_ratio,
+            "cycles_v2": flow.cycles_ratio,
+            "cycles_fast16": fast.cycles / flow.baseline_report.cycles,
+        }
+    return result
+
+
+def render(result: dict) -> str:
+    rows = [
+        [
+            app_name,
+            f"{d['v2']:.2f}",
+            f"{d['cast_free']:.2f}",
+            f"{d['no_binary8']:.2f}",
+            f"{d['v1']:.2f}",
+            f"{d['cycles_v2']:.2f}",
+            f"{d['cycles_fast16']:.2f}",
+        ]
+        for app_name, d in result["rows"].items()
+    ]
+    return format_table(
+        [
+            "app",
+            "E(V2)",
+            "E(no-cast)",
+            "E(no-b8)",
+            "E(V1)",
+            "cyc(V2)",
+            "cyc(16b lat1)",
+        ],
+        rows,
+        title="Ablations at precision 1e-1 "
+        "(all normalized to the binary32 baseline)",
+    )

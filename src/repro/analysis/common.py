@@ -1,0 +1,108 @@
+"""Shared infrastructure for the experiment drivers.
+
+Each driver (table1, fig4-fig7, motivation, summary, ablation) exposes
+``compute(config) -> dict`` and ``render(result) -> str``; this module
+provides the configuration object, cached flow execution, and plain-text
+table/bar rendering used by all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.apps import APP_NAMES, make_app
+from repro.flow import FlowResult, TransprecisionFlow
+from repro.tuning import V1, V2, TypeSystem
+
+__all__ = [
+    "ExperimentConfig",
+    "flow_result",
+    "type_system_by_name",
+    "format_table",
+    "bar",
+    "PRECISION_LABELS",
+]
+
+#: Paper-style labels for the three precision requirements.
+PRECISION_LABELS = {1e-1: "1e-1", 1e-2: "1e-2", 1e-3: "1e-3"}
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by every driver."""
+
+    scale: str = "paper"
+    cache_dir: Path | None = None
+    precisions: tuple[float, ...] = (1e-1, 1e-2, 1e-3)
+    apps: Sequence[str] = APP_NAMES
+    #: Cached flow results, keyed by (app, type system, precision).
+    _flows: dict = field(default_factory=dict, repr=False)
+
+    def resolved_cache_dir(self) -> Path | None:
+        if self.cache_dir is not None:
+            return Path(self.cache_dir)
+        return Path.cwd() / "results" / "tuning"
+
+
+def type_system_by_name(name: str) -> TypeSystem:
+    if name.upper() == "V1":
+        return V1
+    if name.upper() == "V2":
+        return V2
+    raise KeyError(f"unknown type system {name!r} (use V1 or V2)")
+
+
+def flow_result(
+    cfg: ExperimentConfig,
+    app_name: str,
+    type_system: TypeSystem,
+    precision: float,
+) -> FlowResult:
+    """Run (or fetch) the five-step flow for one configuration."""
+    key = (app_name, type_system.name, precision)
+    if key not in cfg._flows:
+        app = make_app(app_name, cfg.scale)
+        flow = TransprecisionFlow(
+            app,
+            type_system,
+            precision,
+            cache_dir=cfg.resolved_cache_dir(),
+        )
+        cfg._flows[key] = flow.run()
+    return cfg._flows[key]
+
+
+# ----------------------------------------------------------------------
+# Plain-text rendering
+# ----------------------------------------------------------------------
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Align a small table for terminal output."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells))
+        if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append(
+            "  ".join(row[i].rjust(widths[i]) for i in range(len(row)))
+        )
+    return "\n".join(lines)
+
+
+def bar(fraction: float, width: int = 24) -> str:
+    """A small ASCII bar for normalized quantities."""
+    clamped = max(0.0, min(fraction, 1.5))
+    filled = int(round(clamped / 1.5 * width))
+    return "#" * filled + "." * (width - filled)

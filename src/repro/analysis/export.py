@@ -1,0 +1,97 @@
+"""Export experiment results as JSON and CSV for external plotting.
+
+``python -m repro`` prints terminal tables; downstream users who want to
+re-plot the paper's figures need the raw series.  :func:`export_all`
+writes one JSON per experiment plus flat CSVs for the three bar-chart
+figures into a target directory.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from . import fig4, fig5, fig6, fig7, motivation, table1
+from .common import ExperimentConfig
+
+__all__ = ["export_all", "write_csv"]
+
+
+def _jsonable(value):
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def write_csv(path: Path, headers: list[str], rows: list[list]) -> None:
+    """Write one flat CSV table."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def export_all(
+    cfg: ExperimentConfig | None = None, out_dir: str | Path = "results/export"
+) -> list[Path]:
+    """Run every figure/table driver and dump JSON + CSV artifacts."""
+    cfg = cfg or ExperimentConfig()
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    drivers = {
+        "motivation": motivation,
+        "table1": table1,
+        "fig4": fig4,
+        "fig5": fig5,
+        "fig6": fig6,
+        "fig7": fig7,
+    }
+    results = {}
+    for name, driver in drivers.items():
+        results[name] = driver.compute(cfg)
+        path = out / f"{name}.json"
+        path.write_text(json.dumps(_jsonable(results[name]), indent=2))
+        written.append(path)
+
+    # Fig. 6 CSV: one row per (precision, app).
+    rows = [
+        [precision, app,
+         data["memory_ratio"], data["cycles_ratio"],
+         data["vector_access_share"], data["cast_cycle_share"]]
+        for precision, per_app in results["fig6"]["rows"].items()
+        for app, data in per_app.items()
+    ]
+    path = out / "fig6.csv"
+    write_csv(path, ["precision", "app", "memory_ratio", "cycles_ratio",
+                     "vector_access_share", "cast_cycle_share"], rows)
+    written.append(path)
+
+    # Fig. 7 CSV.
+    rows = [
+        [precision, app, data["energy_ratio"],
+         data["fp"], data["mem"], data["other"]]
+        for precision, per_app in results["fig7"]["rows"].items()
+        for app, data in per_app.items()
+    ]
+    path = out / "fig7.csv"
+    write_csv(path, ["precision", "app", "energy_ratio", "fp", "mem",
+                     "other"], rows)
+    written.append(path)
+
+    # Fig. 4 CSV: histogram in long form.
+    rows = [
+        [precision, app, bits, count]
+        for precision, per_app in results["fig4"]["matrix"].items()
+        for app, hist in per_app.items()
+        for bits, count in sorted(hist.items())
+    ]
+    path = out / "fig4.csv"
+    write_csv(path, ["precision", "app", "precision_bits", "locations"],
+              rows)
+    written.append(path)
+    return written

@@ -1,0 +1,79 @@
+"""Fig. 4: precision tuning of program variables, three requirements.
+
+A matrix per precision requirement: rows are applications, columns are
+precision bits, entries are the number of *memory locations* whose
+variable tuned to exactly that many bits.  Colour bands in the paper map
+columns to the V2 type system: (0,3] binary8, (3,8] binary16alt,
+(8,11] binary16, 12+ binary32.
+
+Shape checks reproduced from the paper's discussion (§V-B):
+
+* KNN and SVM make wide use of binary8; most other apps do not.
+* Locations in the binary16 band concentrate at its *lower* edge
+  (column 9): they need precisely the precision binary16alt lacks.
+* Column 4 outweighs column 5: variables that fit binary8's range but
+  not its precision enter the binary16alt band at its first column.
+"""
+
+from __future__ import annotations
+
+from repro.apps import make_app
+from repro.tuning import V2
+
+from .common import ExperimentConfig, PRECISION_LABELS, flow_result
+
+__all__ = ["compute", "render"]
+
+#: Columns rendered individually; everything above is pooled.
+MAX_COLUMN = 12
+
+
+def compute(cfg: ExperimentConfig | None = None) -> dict:
+    """Histogram of memory locations per precision-bit column (V2)."""
+    cfg = cfg or ExperimentConfig()
+    result: dict = {"matrix": {}, "bands": {"binary8": (1, 3),
+                                            "binary16alt": (4, 8),
+                                            "binary16": (9, 11),
+                                            "binary32": (12, 24)}}
+    for precision in cfg.precisions:
+        rows = {}
+        for app_name in cfg.apps:
+            app = make_app(app_name, cfg.scale)
+            flow = flow_result(cfg, app_name, V2, precision)
+            rows[app_name] = flow.tuning.histogram(app.variables())
+        result["matrix"][precision] = rows
+    return result
+
+
+def render(result: dict) -> str:
+    columns = list(range(1, MAX_COLUMN)) + [MAX_COLUMN]
+    header = ["app"] + [
+        (f"{c}" if c < MAX_COLUMN else f">={MAX_COLUMN}") for c in columns
+    ]
+    out = []
+    for precision, rows in result["matrix"].items():
+        label = PRECISION_LABELS.get(precision, str(precision))
+        lines = [f"Fig. 4 block: precision {label} "
+                 f"(locations per precision-bit column, V2 bands: "
+                 f"1-3 b8 | 4-8 b16alt | 9-11 b16 | 12+ b32)"]
+        widths = [7] + [6] * len(columns)
+        lines.append(
+            "  ".join(h.rjust(w) for h, w in zip(header, widths))
+        )
+        for app_name, hist in rows.items():
+            cells = []
+            for c in columns:
+                if c < MAX_COLUMN:
+                    cells.append(hist.get(c, 0))
+                else:
+                    cells.append(
+                        sum(v for p, v in hist.items() if p >= MAX_COLUMN)
+                    )
+            lines.append(
+                "  ".join(
+                    str(x).rjust(w)
+                    for x, w in zip([app_name] + cells, widths)
+                )
+            )
+        out.append("\n".join(lines))
+    return "\n\n".join(out)

@@ -1,0 +1,104 @@
+"""Fig. 5: run-time breakdown of FP operations per type.
+
+For every application and precision requirement, the tuned program's
+dynamic FP-operation mix: which fraction executed in each format, split
+into scalar and vectorizable work.  This is the *dynamic* complement of
+Fig. 4's static variable counts; it comes from the FlexFloat statistics
+collector (flow step 4).
+
+Shape checks (§V-C): JACOBI and PCA are dominated by scalar 32-bit (or
+widest-format) operations with little to no vector work; KNN and CONV
+are almost fully vectorizable; SVM sits around 60% vector.
+"""
+
+from __future__ import annotations
+
+from repro.tuning import V2
+
+from .common import (
+    ExperimentConfig,
+    PRECISION_LABELS,
+    bar,
+    flow_result,
+    format_table,
+)
+
+__all__ = ["compute", "render"]
+
+FORMAT_ORDER = ("binary8", "binary16", "binary16alt", "binary32")
+
+
+def compute(cfg: ExperimentConfig | None = None) -> dict:
+    """Per (app, precision): op fractions by format x {scalar, vector}."""
+    cfg = cfg or ExperimentConfig()
+    result: dict = {"breakdown": {}}
+    for precision in cfg.precisions:
+        per_app = {}
+        for app_name in cfg.apps:
+            flow = flow_result(cfg, app_name, V2, precision)
+            stats = flow.stats
+            total = stats.total_arith_ops()
+            scalar = stats.ops_by_format(vector=False)
+            vector = stats.ops_by_format(vector=True)
+            per_app[app_name] = {
+                "total": total,
+                "scalar": {
+                    fmt: scalar.get(fmt, 0) / total if total else 0.0
+                    for fmt in FORMAT_ORDER
+                },
+                "vector": {
+                    fmt: vector.get(fmt, 0) / total if total else 0.0
+                    for fmt in FORMAT_ORDER
+                },
+                "vector_fraction": stats.vector_fraction(),
+                "below32_fraction": 1.0
+                - (
+                    (scalar.get("binary32", 0) + vector.get("binary32", 0))
+                    / total
+                    if total
+                    else 0.0
+                ),
+                "casts": stats.total_casts(),
+            }
+        result["breakdown"][precision] = per_app
+    return result
+
+
+def render(result: dict) -> str:
+    out = []
+    for precision, per_app in result["breakdown"].items():
+        label = PRECISION_LABELS.get(precision, str(precision))
+        rows = []
+        for app_name, data in per_app.items():
+            for fmt in FORMAT_ORDER:
+                s = data["scalar"][fmt]
+                v = data["vector"][fmt]
+                if s + v == 0:
+                    continue
+                rows.append(
+                    [
+                        app_name,
+                        fmt,
+                        f"{s:6.1%}",
+                        f"{v:6.1%}",
+                        bar(s + v, 20),
+                    ]
+                )
+            rows.append(
+                [
+                    app_name,
+                    "(total)",
+                    f"{1 - data['vector_fraction']:6.1%}",
+                    f"{data['vector_fraction']:6.1%}",
+                    f"<32b: {data['below32_fraction']:5.1%}",
+                ]
+            )
+        out.append(
+            format_table(
+                ["app", "format", "scalar", "vector", ""],
+                rows,
+                title=f"Fig. 5 block: FP operation breakdown, "
+                f"precision {label}",
+            )
+        )
+    return "\n\n".join(out)

@@ -1,0 +1,146 @@
+"""Fig. 6: memory accesses and cycles, normalized to the binary32 baseline.
+
+Two bars per application and precision requirement: data-memory accesses
+(highlighting the vectorial share) and execution cycles (highlighting
+cycles spent in vectorial operations and in cast operations).
+
+Headline numbers from the paper to compare against:
+
+* average execution-time reduction 12%, memory-access reduction 27%;
+* excluding the JACOBI and PCA outliers: 17% and 36%;
+* SVM posts the largest memory reduction (48%);
+* JACOBI's cycles can *exceed* the baseline at tight targets (casts).
+"""
+
+from __future__ import annotations
+
+from repro.tuning import V2
+
+from .common import (
+    ExperimentConfig,
+    PRECISION_LABELS,
+    bar,
+    flow_result,
+    format_table,
+)
+
+__all__ = ["compute", "render", "PAPER_CLAIMS"]
+
+PAPER_CLAIMS = {
+    "cycles_avg_reduction": 0.12,
+    "memory_avg_reduction": 0.27,
+    "cycles_avg_reduction_no_outliers": 0.17,
+    "memory_avg_reduction_no_outliers": 0.36,
+    "svm_memory_reduction_max": 0.48,
+}
+
+OUTLIERS = ("jacobi", "pca")
+
+
+def compute(cfg: ExperimentConfig | None = None) -> dict:
+    cfg = cfg or ExperimentConfig()
+    result: dict = {"rows": {}, "averages": {}}
+    cycle_ratios = []
+    memory_ratios = []
+    cycle_ratios_core = []
+    memory_ratios_core = []
+    for precision in cfg.precisions:
+        per_app = {}
+        for app_name in cfg.apps:
+            flow = flow_result(cfg, app_name, V2, precision)
+            tuned = flow.tuned_report
+            mem_ratio = flow.memory_ratio
+            cyc_ratio = flow.cycles_ratio
+            per_app[app_name] = {
+                "memory_ratio": mem_ratio,
+                "cycles_ratio": cyc_ratio,
+                "vector_access_share": (
+                    tuned.memory.vector_accesses / tuned.memory.total
+                    if tuned.memory.total
+                    else 0.0
+                ),
+                "cast_cycle_share": (
+                    tuned.cast_cycles() / tuned.cycles
+                    if tuned.cycles
+                    else 0.0
+                ),
+                "vector_cycle_share": (
+                    tuned.vector_cycles() / tuned.cycles
+                    if tuned.cycles
+                    else 0.0
+                ),
+            }
+            cycle_ratios.append(cyc_ratio)
+            memory_ratios.append(mem_ratio)
+            if app_name not in OUTLIERS:
+                cycle_ratios_core.append(cyc_ratio)
+                memory_ratios_core.append(mem_ratio)
+        result["rows"][precision] = per_app
+    result["averages"] = {
+        "cycles_ratio": sum(cycle_ratios) / len(cycle_ratios),
+        "memory_ratio": sum(memory_ratios) / len(memory_ratios),
+        "cycles_ratio_no_outliers": (
+            sum(cycle_ratios_core) / len(cycle_ratios_core)
+        ),
+        "memory_ratio_no_outliers": (
+            sum(memory_ratios_core) / len(memory_ratios_core)
+        ),
+    }
+    result["paper"] = PAPER_CLAIMS
+    return result
+
+
+def render(result: dict) -> str:
+    out = []
+    for precision, per_app in result["rows"].items():
+        label = PRECISION_LABELS.get(precision, str(precision))
+        rows = []
+        for app_name, data in per_app.items():
+            rows.append(
+                [
+                    app_name,
+                    f"{data['memory_ratio']:.2f}",
+                    f"{data['vector_access_share']:5.1%}",
+                    bar(data["memory_ratio"], 16),
+                    f"{data['cycles_ratio']:.2f}",
+                    f"{data['cast_cycle_share']:5.1%}",
+                    f"{data['vector_cycle_share']:5.1%}",
+                    bar(data["cycles_ratio"], 16),
+                ]
+            )
+        out.append(
+            format_table(
+                [
+                    "app",
+                    "mem",
+                    "vec%",
+                    "(accesses)",
+                    "cycles",
+                    "cast%",
+                    "vec%",
+                    "(cycles)",
+                ],
+                rows,
+                title=f"Fig. 6 block: precision {label} "
+                f"(normalized to binary32 baseline)",
+            )
+        )
+    avg = result["averages"]
+    paper = result["paper"]
+    out.append(
+        "\n".join(
+            [
+                "Averages over all apps and precisions:",
+                f"  cycles  {avg['cycles_ratio']:.2f}  "
+                f"(paper: {1 - paper['cycles_avg_reduction']:.2f})",
+                f"  memory  {avg['memory_ratio']:.2f}  "
+                f"(paper: {1 - paper['memory_avg_reduction']:.2f})",
+                "Excluding JACOBI and PCA:",
+                f"  cycles  {avg['cycles_ratio_no_outliers']:.2f}  "
+                f"(paper: {1 - paper['cycles_avg_reduction_no_outliers']:.2f})",
+                f"  memory  {avg['memory_ratio_no_outliers']:.2f}  "
+                f"(paper: {1 - paper['memory_avg_reduction_no_outliers']:.2f})",
+            ]
+        )
+    )
+    return "\n\n".join(out)

@@ -1,0 +1,127 @@
+"""Fig. 7: energy consumption normalized to the binary32 baseline.
+
+One bar per application and precision requirement, split into the three
+datapath categories (FP operations, memory operations, everything the
+core itself burns).  Includes the paper's PCA manual-vectorization
+experiment: the labels 1-3 in the original figure are PCA re-run with
+the hand-vectorized kernels under the same tuned bindings.
+
+Headline numbers from the paper:
+
+* average energy saving ~18%, maximum 30% (KNN);
+* JACOBI ~97% (little to gain without vector work);
+* PCA *above* baseline (107%/108%) at the tighter targets -- the cast
+  overhead problem; manual vectorization brings it to 101%/96%/85%.
+"""
+
+from __future__ import annotations
+
+from repro.apps import PcaApp, make_app
+from repro.tuning import V2
+
+from .common import (
+    ExperimentConfig,
+    PRECISION_LABELS,
+    bar,
+    flow_result,
+    format_table,
+)
+
+__all__ = ["compute", "render", "PAPER_CLAIMS"]
+
+PAPER_CLAIMS = {
+    "avg_energy_ratio": 0.82,
+    "max_saving": 0.30,
+    "jacobi_energy_ratio": 0.97,
+    "pca_energy_ratio_tight": 1.08,
+    "pca_manual_vectorized": {1e-3: 1.01, 1e-2: 0.96, 1e-1: 0.85},
+}
+
+
+def compute(cfg: ExperimentConfig | None = None) -> dict:
+    cfg = cfg or ExperimentConfig()
+    result: dict = {"rows": {}, "pca_manual": {}, "averages": {}}
+    ratios = []
+    for precision in cfg.precisions:
+        per_app = {}
+        for app_name in cfg.apps:
+            flow = flow_result(cfg, app_name, V2, precision)
+            base = flow.baseline_report.energy
+            tuned = flow.tuned_report.energy
+            per_app[app_name] = {
+                "energy_ratio": flow.energy_ratio,
+                "fp": tuned.fp_pj / base.total_pj,
+                "mem": tuned.mem_pj / base.total_pj,
+                "other": tuned.other_pj / base.total_pj,
+            }
+            ratios.append(flow.energy_ratio)
+        result["rows"][precision] = per_app
+
+        # PCA with manual vectorization, same binding (labels 1-3).
+        flow = flow_result(cfg, "pca", V2, precision)
+        manual = PcaApp(cfg.scale, manual_vectorize=True)
+        program = manual.build_program(flow.binding, 0, vectorize=True)
+        manual_report = _run_platform(program)
+        result["pca_manual"][precision] = (
+            manual_report.energy_pj / flow.baseline_report.energy_pj
+        )
+    result["averages"]["energy_ratio"] = sum(ratios) / len(ratios)
+    result["averages"]["min_energy_ratio"] = min(ratios)
+    result["paper"] = PAPER_CLAIMS
+    return result
+
+
+def _run_platform(program):
+    from repro.hardware import VirtualPlatform
+
+    return VirtualPlatform().run(program)
+
+
+def render(result: dict) -> str:
+    out = []
+    for precision, per_app in result["rows"].items():
+        label = PRECISION_LABELS.get(precision, str(precision))
+        rows = []
+        for app_name, data in per_app.items():
+            rows.append(
+                [
+                    app_name,
+                    f"{data['energy_ratio']:.2f}",
+                    f"{data['fp']:.2f}",
+                    f"{data['mem']:.2f}",
+                    f"{data['other']:.2f}",
+                    bar(data["energy_ratio"], 20),
+                ]
+            )
+        manual = result["pca_manual"][precision]
+        rows.append(
+            ["pca(manual-vec)", f"{manual:.2f}", "", "", "",
+             bar(manual, 20)]
+        )
+        out.append(
+            format_table(
+                ["app", "total", "FP", "mem", "other", ""],
+                rows,
+                title=f"Fig. 7 block: precision {label} "
+                f"(energy normalized to binary32 baseline)",
+            )
+        )
+    avg = result["averages"]
+    paper = result["paper"]
+    out.append(
+        "\n".join(
+            [
+                f"Average energy ratio: {avg['energy_ratio']:.2f} "
+                f"(paper: {paper['avg_energy_ratio']:.2f})",
+                f"Best saving: {1 - avg['min_energy_ratio']:.0%} "
+                f"(paper max: {paper['max_saving']:.0%})",
+                "PCA manual vectorization "
+                + ", ".join(
+                    f"{PRECISION_LABELS[p]}: {v:.2f}"
+                    for p, v in result["pca_manual"].items()
+                )
+                + "  (paper: 1e-3 1.01, 1e-2 0.96, 1e-1 0.85)",
+            ]
+        )
+    )
+    return "\n\n".join(out)

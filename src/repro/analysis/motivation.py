@@ -1,0 +1,82 @@
+"""Intro motivation experiment: where does the baseline energy go?
+
+The paper opens with: running FP-intensive applications on PULPino,
+~30% of the core + data-memory energy is FP computation and another
+~20% is moving FP operands between the data memory and the register
+file.  This driver reproduces that measurement on the binary32
+baselines of all six applications.
+"""
+
+from __future__ import annotations
+
+from repro.apps import make_app
+from repro.hardware import VirtualPlatform
+
+from .common import ExperimentConfig, format_table
+
+__all__ = ["compute", "render", "PAPER_CLAIMS"]
+
+PAPER_CLAIMS = {"fp": 0.30, "mem": 0.20}
+
+
+def compute(cfg: ExperimentConfig | None = None) -> dict:
+    cfg = cfg or ExperimentConfig()
+    platform = VirtualPlatform()
+    result: dict = {"per_app": {}, "fleet": {}}
+    sums = {"fp": 0.0, "mem": 0.0, "other": 0.0}
+    for app_name in cfg.apps:
+        app = make_app(app_name, cfg.scale)
+        program = app.build_program(
+            app.baseline_binding(), 0, vectorize=False
+        )
+        report = platform.run(program)
+        fractions = report.energy.fractions()
+        result["per_app"][app_name] = {
+            **fractions,
+            "total_pj": report.energy_pj,
+            "cycles": report.cycles,
+        }
+        for key in sums:
+            sums[key] += fractions[key]
+    n = len(list(cfg.apps))
+    result["fleet"] = {key: value / n for key, value in sums.items()}
+    result["paper"] = PAPER_CLAIMS
+    return result
+
+
+def render(result: dict) -> str:
+    rows = [
+        [
+            app_name,
+            f"{data['fp']:.1%}",
+            f"{data['mem']:.1%}",
+            f"{data['other']:.1%}",
+            f"{data['total_pj'] / 1e3:.1f}",
+            data["cycles"],
+        ]
+        for app_name, data in result["per_app"].items()
+    ]
+    fleet = result["fleet"]
+    rows.append(
+        [
+            "fleet avg",
+            f"{fleet['fp']:.1%}",
+            f"{fleet['mem']:.1%}",
+            f"{fleet['other']:.1%}",
+            "",
+            "",
+        ]
+    )
+    table = format_table(
+        ["app", "FP ops", "FP movement", "other", "nJ", "cycles"],
+        rows,
+        title="Motivation: binary32 baseline energy split "
+        "(paper: ~30% FP ops, ~20% FP operand movement)",
+    )
+    paper = result["paper"]
+    tail = (
+        f"\nFleet average FP share {fleet['fp']:.1%} "
+        f"(paper ~{paper['fp']:.0%}); operand movement "
+        f"{fleet['mem']:.1%} (paper ~{paper['mem']:.0%})."
+    )
+    return table + tail

@@ -1,0 +1,82 @@
+"""Headline-claims summary: paper vs measured, in one table.
+
+Aggregates the Fig. 5/6/7 drivers into the abstract's claims:
+
+* up to 90% of FP operations can be scaled below 32 bits;
+* execution time -12%, memory accesses -27% on average
+  (-17% / -36% excluding JACOBI and PCA);
+* energy -18% on average, up to -30%.
+"""
+
+from __future__ import annotations
+
+from . import fig5, fig6, fig7
+from .common import ExperimentConfig, format_table
+
+__all__ = ["compute", "render"]
+
+
+def compute(cfg: ExperimentConfig | None = None) -> dict:
+    cfg = cfg or ExperimentConfig()
+    ops = fig5.compute(cfg)
+    timing = fig6.compute(cfg)
+    energy = fig7.compute(cfg)
+
+    below32 = [
+        data["below32_fraction"]
+        for per_app in ops["breakdown"].values()
+        for data in per_app.values()
+    ]
+    avg = timing["averages"]
+    return {
+        "rows": [
+            (
+                "FP ops scaled below 32 bit (max)",
+                f"{max(below32):.0%}",
+                "90%",
+            ),
+            (
+                "FP ops scaled below 32 bit (avg)",
+                f"{sum(below32) / len(below32):.0%}",
+                "-",
+            ),
+            (
+                "execution-time reduction (avg)",
+                f"{1 - avg['cycles_ratio']:.0%}",
+                "12%",
+            ),
+            (
+                "memory-access reduction (avg)",
+                f"{1 - avg['memory_ratio']:.0%}",
+                "27%",
+            ),
+            (
+                "time reduction excl. JACOBI+PCA",
+                f"{1 - avg['cycles_ratio_no_outliers']:.0%}",
+                "17%",
+            ),
+            (
+                "memory reduction excl. JACOBI+PCA",
+                f"{1 - avg['memory_ratio_no_outliers']:.0%}",
+                "36%",
+            ),
+            (
+                "energy reduction (avg)",
+                f"{1 - energy['averages']['energy_ratio']:.0%}",
+                "18%",
+            ),
+            (
+                "energy reduction (max)",
+                f"{1 - energy['averages']['min_energy_ratio']:.0%}",
+                "30%",
+            ),
+        ]
+    }
+
+
+def render(result: dict) -> str:
+    return format_table(
+        ["claim", "measured", "paper"],
+        result["rows"],
+        title="Headline claims: paper vs this reproduction",
+    )

@@ -1,0 +1,206 @@
+"""Shared infrastructure for the six evaluation applications.
+
+Every application exists in two coupled forms:
+
+* a **numeric** form built on :class:`repro.core.FlexFloatArray` /
+  :class:`repro.core.FlexFloat` -- fast emulation used by the precision
+  tuner and by the Fig. 5 operation-breakdown statistics; and
+* a **kernel** form built on :class:`repro.hardware.KernelBuilder` --
+  the mini-ISA instruction stream timed by the virtual platform for
+  Figs. 6 and 7.
+
+Both forms take the same *format binding* (variable name -> FPFormat).
+The helpers here implement the compiler-like conventions both forms
+share: operands of mixed formats are promoted to the wider format with
+an explicit (counted) cast, and vectorizable regions execute packed when
+the common format is narrower than 32 bits.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping, Sequence, Union
+
+import numpy as np
+
+from repro.core import (
+    BINARY64,
+    FlexFloat,
+    FlexFloatArray,
+    FPFormat,
+)
+from repro.hardware import ArrayRef, KernelBuilder, Program, Reg
+from repro.tuning import VarSpec
+
+from .data import SCALES, AppScale
+
+__all__ = [
+    "TransprecisionApp",
+    "wider",
+    "promote",
+    "ensure_fmt",
+    "vcast",
+    "reduce_lanes",
+    "lanes_for",
+]
+
+FF = Union[FlexFloat, FlexFloatArray]
+
+
+# ----------------------------------------------------------------------
+# Format promotion rules (shared by numeric and kernel forms)
+# ----------------------------------------------------------------------
+def wider(a: FPFormat, b: FPFormat) -> FPFormat:
+    """The format a compiler would promote mixed operands to.
+
+    More total bits wins; at equal width (binary16 vs binary16alt) the
+    wider exponent wins, so promotions never lose dynamic range.
+    """
+    if a == b:
+        return a
+    if a.bits != b.bits:
+        return a if a.bits > b.bits else b
+    return a if a.exp_bits >= b.exp_bits else b
+
+
+def promote(a: FF, b: FF) -> tuple[FF, FF, FPFormat]:
+    """Cast the narrower of two emulation operands to the wider format."""
+    target = wider(a.fmt, b.fmt)
+    if a.fmt != target:
+        a = a.cast(target)
+    if b.fmt != target:
+        b = b.cast(target)
+    return a, b, target
+
+
+def lanes_for(fmt: FPFormat) -> int:
+    """SIMD lanes a vectorized region uses for a compute format."""
+    if fmt.bits <= 8:
+        return 4
+    if fmt.bits <= 16:
+        return 2
+    return 1
+
+
+# ----------------------------------------------------------------------
+# Kernel-side emit helpers
+# ----------------------------------------------------------------------
+def ensure_fmt(
+    b: KernelBuilder, reg: Reg, src: FPFormat, dst: FPFormat, lanes: int = 1
+) -> Reg:
+    """Emit a conversion when the formats differ (scalar or packed)."""
+    if src == dst:
+        return reg
+    return b.cast(reg, src, dst, lanes=lanes)
+
+
+def vcast(
+    b: KernelBuilder, reg: Reg, src: FPFormat, dst: FPFormat, lanes: int
+) -> list[Reg]:
+    """Packed conversion, splitting when the destination outgrows 32 bits.
+
+    Casting L lanes to a wider format may not fit one register; the
+    result is returned as a list of registers, each holding
+    ``32 // dst.bits`` lanes (the conversion slices produce one output
+    word per instruction).
+    """
+    if src == dst:
+        return [reg]
+    out_lanes = max(32 // dst.bits, 1)
+    if out_lanes >= lanes:
+        return [b.cast(reg, src, dst, lanes=lanes)]
+    values = reg.value
+    parts: list[Reg] = []
+    for start in range(0, lanes, out_lanes):
+        chunk = values[start : start + out_lanes]
+        # Model: a lane-select (ALU shuffle) feeds each conversion word.
+        sel = b.alu(chunk[0] if len(chunk) == 1 else tuple(chunk), reg)
+        parts.append(b.cast(sel, src, dst, lanes=len(chunk)))
+    return parts
+
+
+def reduce_lanes(
+    b: KernelBuilder, reg: Reg, fmt: FPFormat, lanes: int
+) -> Reg:
+    """Horizontal reduction of a packed accumulator to one scalar.
+
+    RI5CY-style SIMD has no horizontal add: the compiler extracts lanes
+    (one ALU shuffle each) and adds them as scalars, lanes-1 additions.
+    """
+    if lanes == 1:
+        return reg
+    values = reg.value
+    acc = b.alu(values[0], reg)
+    for lane in range(1, lanes):
+        extract = b.alu(values[lane], reg)
+        acc = b.fp("add", fmt, acc, extract)
+    return acc
+
+
+# ----------------------------------------------------------------------
+# The application contract
+# ----------------------------------------------------------------------
+class TransprecisionApp(ABC):
+    """One evaluation kernel in both numeric and hardware form.
+
+    Implements :class:`repro.tuning.variables.TunableProgram`, so every
+    app can be handed directly to :class:`DistributedSearch`.
+    """
+
+    #: Application name (lower case, as in the paper's figures).
+    name: str = ""
+    #: Input sets available for tuning/refinement.
+    num_inputs: int = 3
+    #: Whether the off-the-shelf code has vectorizable regions at all
+    #: (JACOBI does not, per Fig. 5).
+    vectorizable: bool = True
+
+    def __init__(self, scale: str | AppScale = "small") -> None:
+        self.scale = SCALES[scale] if isinstance(scale, str) else scale
+
+    # -- tuner-facing ---------------------------------------------------
+    @abstractmethod
+    def variables(self) -> Sequence[VarSpec]:
+        """Declare the tunable variables (stable order)."""
+
+    @abstractmethod
+    def run_numeric(
+        self, binding: Mapping[str, FPFormat], input_id: int = 0
+    ) -> np.ndarray:
+        """FlexFloat-emulated execution under a format binding."""
+
+    def run(
+        self, binding: Mapping[str, FPFormat], input_id: int = 0
+    ) -> np.ndarray:
+        """TunableProgram protocol alias for :meth:`run_numeric`."""
+        return self.run_numeric(binding, input_id)
+
+    def reference(self, input_id: int = 0) -> np.ndarray:
+        """Exact output: the numeric form with every variable binary64."""
+        binding = {spec.name: BINARY64 for spec in self.variables()}
+        return self.run_numeric(binding, input_id)
+
+    # -- platform-facing -------------------------------------------------
+    @abstractmethod
+    def build_program(
+        self,
+        binding: Mapping[str, FPFormat],
+        input_id: int = 0,
+        vectorize: bool = True,
+    ) -> Program:
+        """Emit the mini-ISA kernel for the virtual platform."""
+
+    # -- conveniences ----------------------------------------------------
+    def baseline_binding(self) -> dict[str, FPFormat]:
+        """The paper's baseline: every variable in binary32."""
+        from repro.core import BINARY32
+
+        return {spec.name: BINARY32 for spec in self.variables()}
+
+    def _fmt(self, binding: Mapping[str, FPFormat], name: str) -> FPFormat:
+        try:
+            return binding[name]
+        except KeyError:
+            raise KeyError(
+                f"{self.name}: binding misses variable {name!r}"
+            ) from None

@@ -1,0 +1,175 @@
+"""CONV: 5x5 convolution kernel (paper §V-A).
+
+Tunable variables
+-----------------
+``image``   the input image (large array; quantizes aggressively),
+``kernel``  the 25 filter taps (need more precision: they set the
+            output's accuracy),
+``out``     the convolved image.
+
+The multiply-accumulate loops are the vectorizable region: all loads,
+products and accumulations run packed when the region's common format is
+narrower than 32 bits.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core import FlexFloatArray, FPFormat, vectorizable
+from repro.hardware import KernelBuilder, Program
+from repro.tuning import VarSpec
+
+from .base import (
+    TransprecisionApp,
+    ensure_fmt,
+    lanes_for,
+    reduce_lanes,
+    vcast,
+    wider,
+)
+from .data import conv_inputs
+
+__all__ = ["ConvApp"]
+
+
+class ConvApp(TransprecisionApp):
+    """5x5 convolution over a square image (valid region)."""
+
+    name = "conv"
+
+    def variables(self):
+        n = self.scale.conv_size
+        k = self.scale.conv_kernel
+        out_n = n - k + 1
+        return [
+            VarSpec("image", n * n, "input image"),
+            VarSpec("kernel", k * k, "filter taps"),
+            VarSpec("out", out_n * out_n, "convolved output"),
+        ]
+
+    # ------------------------------------------------------------------
+    def run_numeric(
+        self, binding: Mapping[str, FPFormat], input_id: int = 0
+    ) -> np.ndarray:
+        image_np, kernel_np = conv_inputs(self.scale, input_id)
+        img_fmt = self._fmt(binding, "image")
+        ker_fmt = self._fmt(binding, "kernel")
+        out_fmt = self._fmt(binding, "out")
+        region = wider(wider(img_fmt, ker_fmt), out_fmt)
+
+        image = FlexFloatArray(image_np, img_fmt)
+        kernel = FlexFloatArray(kernel_np, ker_fmt)
+        # The compiler hoists the 25 taps out of the pixel loops: one cast
+        # per tap, not per use.
+        taps = kernel if ker_fmt == region else kernel.cast(region)
+
+        k = self.scale.conv_kernel
+        out_n = self.scale.conv_size - k + 1
+
+        def body() -> FlexFloatArray:
+            acc = FlexFloatArray(np.zeros((out_n, out_n)), region)
+            for dr in range(k):
+                for dc in range(k):
+                    window = image[dr : dr + out_n, dc : dc + out_n]
+                    if img_fmt != region:
+                        window = window.cast(region)
+                    acc = acc + window * taps[dr, dc]
+            return acc
+
+        if lanes_for(region) > 1:
+            with vectorizable():
+                acc = body()
+        else:
+            acc = body()
+        result = acc if out_fmt == region else acc.cast(out_fmt)
+        return result.to_numpy().reshape(-1)
+
+    # ------------------------------------------------------------------
+    def build_program(
+        self,
+        binding: Mapping[str, FPFormat],
+        input_id: int = 0,
+        vectorize: bool = True,
+    ) -> Program:
+        image_np, kernel_np = conv_inputs(self.scale, input_id)
+        img_fmt = self._fmt(binding, "image")
+        ker_fmt = self._fmt(binding, "kernel")
+        out_fmt = self._fmt(binding, "out")
+        region = wider(wider(img_fmt, ker_fmt), out_fmt)
+        lanes = lanes_for(region) if vectorize else 1
+
+        k = self.scale.conv_kernel
+        n = self.scale.conv_size
+        out_n = n - k + 1
+
+        b = KernelBuilder(self.name)
+        img = b.alloc("image", image_np.reshape(-1), img_fmt)
+        ker = b.alloc("kernel", kernel_np.reshape(-1), ker_fmt)
+        out = b.zeros("out", out_n * out_n, out_fmt)
+
+        # Hoisted filter taps: loaded once, converted once, kept in regs.
+        tap_regs: list[list] = []
+        for row in range(k):
+            regs = []
+            col = 0
+            while col < k:
+                width = min(lanes, k - col)
+                if width > 1:
+                    v = b.load(ker, row * k + col, lanes=width)
+                    regs.extend(
+                        (r, width)
+                        for r in vcast(b, v, ker_fmt, region, width)
+                    )
+                else:
+                    v = b.load(ker, row * k + col)
+                    regs.append(
+                        (ensure_fmt(b, v, ker_fmt, region), 1)
+                    )
+                col += width
+            tap_regs.append(regs)
+
+        zero = b.fconst(0.0, region)
+        for r in b.loop(out_n):
+            for c in b.loop(out_n):
+                acc = zero
+                acc_lanes = 1
+                vacc = None
+                for dr in range(k):
+                    col = 0
+                    for tap, width in tap_regs[dr]:
+                        base = (r + dr) * n + (c + col)
+                        if width > 1:
+                            vimg = b.load(img, base, lanes=width)
+                            parts = vcast(b, vimg, img_fmt, region, width)
+                            for part in parts:
+                                pl = (
+                                    len(part.value)
+                                    if isinstance(part.value, tuple)
+                                    else 1
+                                )
+                                prod = b.fp("mul", region, part, tap,
+                                            lanes=pl)
+                                if vacc is None:
+                                    vacc = prod
+                                    acc_lanes = pl
+                                elif pl == acc_lanes:
+                                    vacc = b.fp("add", region, vacc, prod,
+                                                lanes=pl)
+                                else:
+                                    red = reduce_lanes(b, prod, region, pl)
+                                    acc = b.fp("add", region, acc, red)
+                        else:
+                            simg = b.load(img, base)
+                            simg = ensure_fmt(b, simg, img_fmt, region)
+                            prod = b.fp("mul", region, simg, tap)
+                            acc = b.fp("add", region, acc, prod)
+                        col += width
+                if vacc is not None:
+                    red = reduce_lanes(b, vacc, region, acc_lanes)
+                    acc = b.fp("add", region, acc, red)
+                result = ensure_fmt(b, acc, region, out_fmt)
+                b.store(out, r * out_n + c, result)
+        return b.program()

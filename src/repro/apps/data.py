@@ -1,0 +1,188 @@
+"""Deterministic input generation for the six evaluation kernels.
+
+Every application draws its inputs from a seeded generator so that runs
+are reproducible and multiple *input sets* exist for the tuner's
+statistical refinement phase (paper §II: precision bindings from
+different input sets are joined in a second phase).
+
+Two problem scales are provided: ``small`` keeps unit tests and
+benchmarks fast; ``paper`` is the size used by the experiment drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AppScale", "SCALES", "rng_for"]
+
+
+@dataclass(frozen=True)
+class AppScale:
+    """Problem sizes for one scale level."""
+
+    name: str
+    jacobi_n: int          # grid side (interior)
+    jacobi_iters: int
+    knn_points: int
+    knn_dims: int
+    knn_k: int
+    pca_samples: int
+    pca_dims: int
+    pca_iters: int
+    dwt_length: int
+    dwt_levels: int
+    svm_vectors: int
+    svm_dims: int
+    svm_classes: int
+    svm_queries: int
+    conv_size: int         # square image side
+    conv_kernel: int       # kernel side (5 in the paper)
+
+
+SCALES: dict[str, AppScale] = {
+    "small": AppScale(
+        name="small",
+        jacobi_n=12, jacobi_iters=10,
+        knn_points=128, knn_dims=8, knn_k=4,
+        pca_samples=24, pca_dims=6, pca_iters=12,
+        dwt_length=128, dwt_levels=3,
+        svm_vectors=24, svm_dims=8, svm_classes=3, svm_queries=6,
+        conv_size=12, conv_kernel=5,
+    ),
+    "paper": AppScale(
+        name="paper",
+        jacobi_n=24, jacobi_iters=30,
+        knn_points=1024, knn_dims=8, knn_k=4,
+        pca_samples=48, pca_dims=8, pca_iters=20,
+        dwt_length=512, dwt_levels=3,
+        svm_vectors=96, svm_dims=16, svm_classes=4, svm_queries=16,
+        conv_size=24, conv_kernel=5,
+    ),
+}
+
+
+def rng_for(app: str, input_id: int) -> np.random.Generator:
+    """A reproducible generator for one (application, input set) pair."""
+    # Stable across processes (unlike hash(), which is salted).
+    stable = sum(ord(c) * (i + 1) for i, c in enumerate(app))
+    return np.random.default_rng(100_003 * stable + 17 * input_id + 7)
+
+
+# ----------------------------------------------------------------------
+# Per-application input builders
+# ----------------------------------------------------------------------
+def jacobi_inputs(scale: AppScale, input_id: int):
+    """Initial grid (with hot boundary) and heat-source field.
+
+    Values sit in [0, 4]: a well-conditioned near-sensor temperature
+    field.  The boundary ring is part of the grid and stays fixed.
+    """
+    rng = rng_for("jacobi", input_id)
+    n = scale.jacobi_n + 2  # including boundary ring
+    grid = np.zeros((n, n))
+    grid[0, :] = rng.uniform(1.0, 4.0, n)
+    grid[-1, :] = rng.uniform(0.0, 1.0, n)
+    grid[:, 0] = rng.uniform(0.5, 2.0, n)
+    grid[:, -1] = rng.uniform(0.5, 2.0, n)
+    source = rng.uniform(0.0, 0.05, (n, n))
+    source[0, :] = source[-1, :] = source[:, 0] = source[:, -1] = 0.0
+    return grid, source
+
+
+def knn_inputs(scale: AppScale, input_id: int):
+    """Training points, per-point regression targets, and one query.
+
+    Targets are a smooth function of position (the coordinate sum), so a
+    neighbour swap between nearly-equidistant points barely moves the
+    k-NN regression estimate: quantization degrades the output
+    *gracefully*, which is what lets the paper's KNN live in binary8.
+    """
+    rng = rng_for("knn", input_id)
+    train = rng.uniform(0.0, 1.0, (scale.knn_points, scale.knn_dims))
+    values = np.sum(train, axis=1)
+    query = rng.uniform(0.25, 0.75, scale.knn_dims)
+    return train, values, query
+
+
+#: Quantized feature levels for the SVM's support vectors: embedded
+#: classifiers commonly binarize/quantize their model (the paper finds
+#: the large SVM array at a single precision bit even at 10^-3, which
+#: only quantized features explain -- powers of two are exact in any
+#: format).
+_SVM_LEVELS = np.array([-1.0, -0.5, -0.25, 0.25, 0.5, 1.0])
+
+
+def pca_inputs(scale: AppScale, input_id: int):
+    """Samples with two dominant directions plus noise.
+
+    The spread of magnitudes (components scaled differently) is what
+    pushes PCA's core math toward binary32 in the paper.
+    """
+    rng = rng_for("pca", input_id)
+    n, d = scale.pca_samples, scale.pca_dims
+    basis = rng.normal(0.0, 1.0, (2, d))
+    basis /= np.linalg.norm(basis, axis=1, keepdims=True)
+    # A narrow eigengap makes deflation (and thus the second component)
+    # numerically delicate: the eigen-solver stays in wide formats while
+    # the sample storage can narrow -- the paper's cast-heavy PCA.
+    coords = rng.normal(0.0, 1.0, (n, 2)) * np.array([6.0, 4.5])
+    data = coords @ basis + rng.normal(0.0, 0.1, (n, d))
+    # Per-dimension offsets: centering subtracts numbers of comparable
+    # magnitude, so narrow sample storage loses significance.  This is
+    # part of what keeps PCA's core math wide in the paper.
+    data += rng.uniform(2.0, 6.0, d)
+    return data
+
+
+def dwt_inputs(scale: AppScale, input_id: int):
+    """A smooth signal with transients: typical near-sensor waveform."""
+    rng = rng_for("dwt", input_id)
+    n = scale.dwt_length
+    t = np.linspace(0.0, 1.0, n, endpoint=False)
+    signal = (
+        1.2 * np.sin(2 * np.pi * 3.0 * t)
+        + 0.6 * np.sin(2 * np.pi * 11.0 * t + 0.7)
+        + 0.25 * rng.normal(0.0, 1.0, n)
+    )
+    bumps = rng.integers(0, n, 4)
+    signal[bumps] += rng.uniform(1.0, 2.0, 4)
+    return signal
+
+
+def svm_inputs(scale: AppScale, input_id: int):
+    """Support vectors, dual coefficients, query batch (poly-kernel SVM).
+
+    Support vectors are quantized features (powers of two), exactly
+    representable at one precision bit; coefficients and queries are
+    continuous.
+    """
+    rng = rng_for("svm", input_id)
+    s, d = scale.svm_vectors, scale.svm_dims
+    c, m = scale.svm_classes, scale.svm_queries
+    support = rng.choice(_SVM_LEVELS, size=(s, d))
+    alpha = rng.normal(0.0, 0.4, (s, c))
+    bias = rng.normal(0.0, 0.2, c)
+    # Queries come out of the same quantized feature extractor.
+    queries = rng.choice(_SVM_LEVELS, size=(m, d))
+    return support, alpha, bias, queries
+
+
+def conv_inputs(scale: AppScale, input_id: int):
+    """Image in [0, 1] and a normalized 5x5 smoothing kernel.
+
+    A blur (all-positive, unit-sum) kernel is the standard image-
+    processing workload: pixel quantization noise partially averages
+    out across the window, so coarse image storage survives loose SQNR
+    targets (the paper's CONV sits in binary8 at 10^-1).
+    """
+    rng = rng_for("conv", input_id)
+    n, k = scale.conv_size, scale.conv_kernel
+    image = rng.uniform(0.0, 1.0, (n, n))
+    axis = np.arange(k) - (k - 1) / 2
+    gauss = np.exp(-(axis ** 2) / 2.0)
+    kernel = np.outer(gauss, gauss)
+    kernel = kernel * rng.uniform(0.85, 1.15, (k, k))  # imperfect optics
+    kernel = kernel / np.sum(kernel)
+    return image, kernel

@@ -1,0 +1,230 @@
+"""DWT: multi-level Daubechies-2 discrete wavelet transform (paper §V-A).
+
+Tunable variables
+-----------------
+``signal``   the input signal / per-level approximation storage,
+``lowpass``  the 4 scaling-filter taps,
+``highpass`` the 4 wavelet-filter taps,
+``coeffs``   the output coefficient storage (approximation at the last
+             level followed by the detail bands).
+
+Each level convolves the current approximation with both 4-tap filters
+at stride 2 (periodic extension).  The 4-tap multiply-accumulate over
+contiguous samples is the vectorizable region.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core import FlexFloatArray, FPFormat, vectorizable
+from repro.hardware import KernelBuilder, Program
+from repro.tuning import VarSpec
+
+from .base import (
+    TransprecisionApp,
+    ensure_fmt,
+    lanes_for,
+    reduce_lanes,
+    vcast,
+    wider,
+)
+from .data import dwt_inputs
+from .reference import _DB2_HI, _DB2_LO
+
+__all__ = ["DwtApp"]
+
+TAPS = 4
+
+
+class DwtApp(TransprecisionApp):
+    """Multi-level 1D db2 wavelet decomposition."""
+
+    name = "dwt"
+
+    def variables(self):
+        n = self.scale.dwt_length
+        return [
+            VarSpec("signal", n, "input signal and approximations"),
+            VarSpec("lowpass", TAPS, "scaling filter taps"),
+            VarSpec("highpass", TAPS, "wavelet filter taps"),
+            VarSpec("coeffs", n, "output coefficients"),
+        ]
+
+    # ------------------------------------------------------------------
+    def run_numeric(
+        self, binding: Mapping[str, FPFormat], input_id: int = 0
+    ) -> np.ndarray:
+        signal_np = dwt_inputs(self.scale, input_id)
+        sig_fmt = self._fmt(binding, "signal")
+        lo_fmt = self._fmt(binding, "lowpass")
+        hi_fmt = self._fmt(binding, "highpass")
+        out_fmt = self._fmt(binding, "coeffs")
+        region = wider(
+            wider(sig_fmt, out_fmt), wider(lo_fmt, hi_fmt)
+        )
+
+        lo = FlexFloatArray(_DB2_LO, lo_fmt)
+        hi = FlexFloatArray(_DB2_HI, hi_fmt)
+        # Filter taps are hoisted: one conversion each.
+        lo_r = lo if lo_fmt == region else lo.cast(region)
+        hi_r = hi if hi_fmt == region else hi.cast(region)
+
+        approx = FlexFloatArray(signal_np, sig_fmt)
+        pieces: list[np.ndarray] = []
+        for _ in range(self.scale.dwt_levels):
+            n = len(approx)
+            half = n // 2
+
+            def level() -> tuple[FlexFloatArray, FlexFloatArray]:
+                a = approx if sig_fmt == region else approx.cast(region)
+                lo_acc = FlexFloatArray(np.zeros(half), region)
+                hi_acc = FlexFloatArray(np.zeros(half), region)
+                for t in range(TAPS):
+                    idx = (2 * np.arange(half) + t) % n
+                    window = a.take(idx)
+                    lo_acc = lo_acc + window * lo_r[t]
+                    hi_acc = hi_acc + window * hi_r[t]
+                return lo_acc, hi_acc
+
+            if lanes_for(region) > 1:
+                with vectorizable():
+                    lo_acc, hi_acc = level()
+            else:
+                lo_acc, hi_acc = level()
+
+            detail = hi_acc if out_fmt == region else hi_acc.cast(out_fmt)
+            pieces.append(detail.to_numpy())
+            next_approx = (
+                lo_acc if sig_fmt == region else lo_acc.cast(sig_fmt)
+            )
+            approx = next_approx
+
+        final = approx if out_fmt == sig_fmt else approx.cast(out_fmt)
+        ordered = [final.to_numpy()] + list(reversed(pieces))
+        return np.concatenate(ordered)
+
+    # ------------------------------------------------------------------
+    def build_program(
+        self,
+        binding: Mapping[str, FPFormat],
+        input_id: int = 0,
+        vectorize: bool = True,
+    ) -> Program:
+        signal_np = dwt_inputs(self.scale, input_id)
+        sig_fmt = self._fmt(binding, "signal")
+        lo_fmt = self._fmt(binding, "lowpass")
+        hi_fmt = self._fmt(binding, "highpass")
+        out_fmt = self._fmt(binding, "coeffs")
+        region = wider(wider(sig_fmt, out_fmt), wider(lo_fmt, hi_fmt))
+        lanes = lanes_for(region) if vectorize else 1
+
+        n0 = self.scale.dwt_length
+        levels = self.scale.dwt_levels
+
+        b = KernelBuilder(self.name)
+        signal = b.alloc("signal", signal_np, sig_fmt)
+        lowpass = b.alloc("lowpass", _DB2_LO, lo_fmt)
+        highpass = b.alloc("highpass", _DB2_HI, hi_fmt)
+        coeffs = b.zeros("coeffs", n0, out_fmt)
+        # Ping-pong buffer for the next approximation level.
+        scratch = b.zeros("scratch", n0 // 2, sig_fmt)
+
+        # Hoist the 4 taps of each filter (vector loads when possible).
+        def hoist(arr, fmt):
+            regs: list[tuple] = []
+            t = 0
+            while t < TAPS:
+                width = min(lanes, TAPS - t)
+                if width > 1:
+                    v = b.load(arr, t, lanes=width)
+                    regs.extend(
+                        (r, width) for r in vcast(b, v, fmt, region, width)
+                    )
+                else:
+                    v = b.load(arr, t)
+                    regs.append((ensure_fmt(b, v, fmt, region), 1))
+                t += width
+            return regs
+
+        lo_regs = hoist(lowpass, lo_fmt)
+        hi_regs = hoist(highpass, hi_fmt)
+
+        current = signal
+        current_n = n0
+        out_cursor = n0  # details fill from the back
+        for level in range(levels):
+            half = current_n // 2
+            out_cursor -= half
+            for i in b.loop(half):
+                base = 2 * i
+                wrap = base + TAPS > current_n
+                lo_acc = None
+                hi_acc = None
+                if not wrap and lanes >= 2:
+                    pos = 0
+                    for (lreg, width), (hreg, _) in zip(lo_regs, hi_regs):
+                        vwin = b.load(current, base + pos, lanes=width)
+                        parts = vcast(b, vwin, sig_fmt, region, width)
+                        for part in parts:
+                            pl = (
+                                len(part.value)
+                                if isinstance(part.value, tuple)
+                                else 1
+                            )
+                            lp = b.fp("mul", region, part, lreg, lanes=pl)
+                            hp = b.fp("mul", region, part, hreg, lanes=pl)
+                            lo_acc = (
+                                lp if lo_acc is None
+                                else b.fp("add", region, lo_acc, lp, lanes=pl)
+                            )
+                            hi_acc = (
+                                hp if hi_acc is None
+                                else b.fp("add", region, hi_acc, hp, lanes=pl)
+                            )
+                        pos += width
+                    vl = min(lanes, TAPS)
+                    lo_s = reduce_lanes(b, lo_acc, region, vl)
+                    hi_s = reduce_lanes(b, hi_acc, region, vl)
+                else:
+                    # Scalar path (or boundary wrap-around).
+                    flat_lo = _flatten_taps(b, lo_regs, region)
+                    flat_hi = _flatten_taps(b, hi_regs, region)
+                    lo_s = b.fconst(0.0, region)
+                    hi_s = b.fconst(0.0, region)
+                    for t in range(TAPS):
+                        s = b.load(current, (base + t) % current_n)
+                        s = ensure_fmt(b, s, sig_fmt, region)
+                        lp = b.fp("mul", region, s, flat_lo[t])
+                        lo_s = b.fp("add", region, lo_s, lp)
+                        hp = b.fp("mul", region, s, flat_hi[t])
+                        hi_s = b.fp("add", region, hi_s, hp)
+                det = ensure_fmt(b, hi_s, region, out_fmt)
+                b.store(coeffs, out_cursor + i, det)
+                app_val = ensure_fmt(b, lo_s, region, sig_fmt)
+                b.store(scratch, i, app_val)
+            # Copy the new approximation back (load+store per element).
+            for i in b.loop(half):
+                v = b.load(scratch, i)
+                b.store(current, i, v)
+            current_n = half
+        # Final approximation into the front of the output.
+        for i in b.loop(current_n):
+            v = b.load(current, i)
+            v = ensure_fmt(b, v, sig_fmt, out_fmt)
+            b.store(coeffs, i, v)
+        return b.program()
+
+
+def _flatten_taps(b, regs, region):
+    """Expand hoisted (possibly packed) tap registers to 4 scalars."""
+    flat = []
+    for reg, width in regs:
+        if width == 1:
+            flat.append(reg)
+        else:
+            for lane in range(width):
+                flat.append(b.alu(reg.value[lane], reg))
+    return flat

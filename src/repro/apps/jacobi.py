@@ -1,0 +1,140 @@
+"""JACOBI: Jacobi relaxation on a 2D heat grid (paper §V-A).
+
+Tunable variables
+-----------------
+``grid``    the evolving temperature field (boundary ring included).
+            Errors feed back through every sweep, so this variable
+            resists narrowing -- the paper finds JACOBI almost entirely
+            outside the narrow formats and reports essentially no cycle
+            or energy gain (Fig. 6/7: ~100%/97%).
+``source``  the per-cell heat injection, read once per sweep: additive
+            and small, it tolerates coarse quantization.
+
+The stencil sweeps are *not* vectorizable in the off-the-shelf code
+(paper Fig. 5 shows no vectorial operations for JACOBI): the strided
+neighbour accesses defeat the compiler's SIMD packing.  The app
+therefore never tags a vector region and its kernel is always scalar.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core import FlexFloatArray, FPFormat
+from repro.hardware import KernelBuilder, Program
+from repro.tuning import VarSpec
+
+from .base import TransprecisionApp, ensure_fmt, wider
+from .data import jacobi_inputs
+
+__all__ = ["JacobiApp"]
+
+
+class JacobiApp(TransprecisionApp):
+    """Jacobi iterations with fixed boundary and heat source."""
+
+    name = "jacobi"
+    vectorizable = False
+
+    def variables(self):
+        n = self.scale.jacobi_n + 2
+        return [
+            VarSpec("grid", n * n, "temperature field"),
+            VarSpec("source", n * n, "heat source"),
+        ]
+
+    # ------------------------------------------------------------------
+    def run_numeric(
+        self, binding: Mapping[str, FPFormat], input_id: int = 0
+    ) -> np.ndarray:
+        grid_np, source_np = jacobi_inputs(self.scale, input_id)
+        grid_fmt = self._fmt(binding, "grid")
+        src_fmt = self._fmt(binding, "source")
+        region = wider(grid_fmt, src_fmt)
+
+        grid = FlexFloatArray(grid_np, grid_fmt)
+        source = FlexFloatArray(source_np, src_fmt)
+        quarter = 0.25  # exact in every format
+
+        for _ in range(self.scale.jacobi_iters):
+            g = grid if grid_fmt == region else grid.cast(region)
+            s = source if src_fmt == region else source.cast(region)
+            up = g[:-2, 1:-1]
+            down = g[2:, 1:-1]
+            left = g[1:-1, :-2]
+            right = g[1:-1, 2:]
+            interior = ((up + down) + (left + right)) * quarter
+            interior = interior + s[1:-1, 1:-1]
+            if region != grid_fmt:
+                interior = interior.cast(grid_fmt)
+            # Convergence monitoring, as real solvers do every sweep:
+            # the residual is the largest cell update.
+            old_inner = grid[1:-1, 1:-1]
+            abs(interior - old_inner).max()
+            new = grid.copy()
+            new[1:-1, 1:-1] = interior
+            grid = new
+        inner = grid[1:-1, 1:-1]
+        return inner.to_numpy().reshape(-1)
+
+    # ------------------------------------------------------------------
+    def build_program(
+        self,
+        binding: Mapping[str, FPFormat],
+        input_id: int = 0,
+        vectorize: bool = True,
+    ) -> Program:
+        grid_np, source_np = jacobi_inputs(self.scale, input_id)
+        grid_fmt = self._fmt(binding, "grid")
+        src_fmt = self._fmt(binding, "source")
+        region = wider(grid_fmt, src_fmt)
+
+        n = self.scale.jacobi_n + 2
+        inner = self.scale.jacobi_n
+
+        b = KernelBuilder(self.name)
+        # Ping-pong pair: real stencil codes swap buffer pointers instead
+        # of copying the field back every sweep.
+        grid_a = b.alloc("grid", grid_np.reshape(-1), grid_fmt)
+        grid_b = b.alloc("grid_pong", grid_np.reshape(-1), grid_fmt)
+        source = b.alloc("source", source_np.reshape(-1), src_fmt)
+        out = b.zeros("out", inner * inner, grid_fmt)
+
+        quarter = b.fconst(0.25, region)
+        src_buf, dst_buf = grid_a, grid_b
+        for _ in b.loop(self.scale.jacobi_iters, soft=True):
+            for r in b.loop(inner):
+                for c in b.loop(inner):  # falls back to a soft loop
+                    rr, cc = r + 1, c + 1
+                    up = b.load(src_buf, (rr - 1) * n + cc)
+                    down = b.load(src_buf, (rr + 1) * n + cc)
+                    left = b.load(src_buf, rr * n + (cc - 1))
+                    right = b.load(src_buf, rr * n + (cc + 1))
+                    up = ensure_fmt(b, up, grid_fmt, region)
+                    down = ensure_fmt(b, down, grid_fmt, region)
+                    left = ensure_fmt(b, left, grid_fmt, region)
+                    right = ensure_fmt(b, right, grid_fmt, region)
+                    vertical = b.fp("add", region, up, down)
+                    horizontal = b.fp("add", region, left, right)
+                    total = b.fp("add", region, vertical, horizontal)
+                    scaled = b.fp("mul", region, total, quarter)
+                    s = b.load(source, rr * n + cc)
+                    s = ensure_fmt(b, s, src_fmt, region)
+                    cell_r = b.fp("add", region, scaled, s)
+                    cell = ensure_fmt(b, cell_r, region, grid_fmt)
+                    b.store(dst_buf, rr * n + cc, cell)
+                    # Convergence monitoring: residual = max |update|.
+                    old = b.load(src_buf, rr * n + cc)
+                    old = ensure_fmt(b, old, grid_fmt, region)
+                    upd = b.fp("sub", region, cell_r, old)
+                    b.fp("cmp", region, upd, quarter)
+                    b.alu(0)  # running-max bookkeeping
+            src_buf, dst_buf = dst_buf, src_buf  # pointer swap: free
+        # Emit the interior as the program output.
+        for r in b.loop(inner):
+            for c in b.loop(inner):
+                v = b.load(src_buf, (r + 1) * n + (c + 1))
+                b.store(out, r * inner + c, v)
+        return b.program()

@@ -1,0 +1,236 @@
+"""KNN: k-nearest neighbours by euclidean distance (paper §V-A).
+
+Tunable variables
+-----------------
+``train``   the training-point matrix (by far the largest array;
+            neighbour *ranking* is robust to coarse quantization, which
+            is why the paper finds KNN living almost entirely in binary8),
+``values``  per-point regression targets,
+``query``   the query point,
+``dist``    the squared-distance accumulator array.
+
+Output: the k-NN regression estimate (mean target of the k nearest,
+k a power of two so the mean is exact), followed by the k euclidean
+distances.  The estimate degrades gracefully under quantization (a
+neighbour swap between nearly-equidistant points barely moves it),
+while the appended distances give the tuner a smooth error signal at
+tight targets.  The distance accumulation over the training matrix is
+the vectorizable region; the top-k selection is comparison/bookkeeping
+work, and the final square roots run on the sequential binary32 unit
+(with casts in and out when ``dist`` is narrower).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core import (
+    BINARY32,
+    FlexFloat,
+    FlexFloatArray,
+    FPFormat,
+    mathfn,
+    record_op,
+    vectorizable,
+)
+from repro.hardware import KernelBuilder, Program
+from repro.tuning import VarSpec
+
+from .base import (
+    TransprecisionApp,
+    ensure_fmt,
+    lanes_for,
+    reduce_lanes,
+    vcast,
+    wider,
+)
+from .data import knn_inputs
+
+__all__ = ["KnnApp"]
+
+
+class KnnApp(TransprecisionApp):
+    """k-nearest neighbours of one query point."""
+
+    name = "knn"
+
+    def variables(self):
+        n, d = self.scale.knn_points, self.scale.knn_dims
+        return [
+            VarSpec("train", n * d, "training points"),
+            VarSpec("values", n, "regression targets"),
+            VarSpec("query", d, "query point"),
+            VarSpec("dist", n, "squared-distance accumulators"),
+        ]
+
+    # ------------------------------------------------------------------
+    def run_numeric(
+        self, binding: Mapping[str, FPFormat], input_id: int = 0
+    ) -> np.ndarray:
+        train_np, values_np, query_np = knn_inputs(self.scale, input_id)
+        train_fmt = self._fmt(binding, "train")
+        values_fmt = self._fmt(binding, "values")
+        query_fmt = self._fmt(binding, "query")
+        dist_fmt = self._fmt(binding, "dist")
+        region = wider(wider(train_fmt, query_fmt), dist_fmt)
+        k = self.scale.knn_k
+
+        train = FlexFloatArray(train_np, train_fmt)
+        values = FlexFloatArray(values_np, values_fmt)
+        query = FlexFloatArray(query_np, query_fmt)
+
+        def body() -> FlexFloatArray:
+            t = train if train_fmt == region else train.cast(region)
+            q = query if query_fmt == region else query.cast(region)
+            diff = t - q  # broadcast over rows
+            return (diff * diff).sum(axis=1)
+
+        if lanes_for(region) > 1:
+            with vectorizable():
+                d2 = body()
+        else:
+            d2 = body()
+        dist = d2 if dist_fmt == region else d2.cast(dist_fmt)
+
+        # Top-k selection: comparisons only (no slice arithmetic).  The
+        # hardware runs n*k compare-and-keep steps; record them so Fig. 5
+        # style statistics see the comparison traffic.
+        record_op(dist_fmt, "cmp", len(dist) * k)
+        order = np.argsort(dist.to_numpy(), kind="stable")[:k]
+
+        # Regression estimate: mean target of the winners (k is a power
+        # of two, so 1/k is exact in every format).
+        estimate = values.take(order).sum() * (1.0 / k)
+
+        # Euclidean roots of the winners: the platform's sequential sqrt
+        # is binary32, so narrower accumulators cast up first.  (With the
+        # binary64 reference binding the root stays in binary64: this
+        # path defines the exact output.)
+        root_fmt = wider(dist_fmt, BINARY32)
+        roots = []
+        for idx in order:
+            value = dist[int(idx)]
+            as_root = value.cast(root_fmt) if dist_fmt != root_fmt else value
+            roots.append(float(mathfn.sqrt(as_root)))
+        return np.concatenate([[float(estimate)], np.asarray(roots)])
+
+    # ------------------------------------------------------------------
+    def build_program(
+        self,
+        binding: Mapping[str, FPFormat],
+        input_id: int = 0,
+        vectorize: bool = True,
+    ) -> Program:
+        train_np, values_np, query_np = knn_inputs(self.scale, input_id)
+        train_fmt = self._fmt(binding, "train")
+        values_fmt = self._fmt(binding, "values")
+        query_fmt = self._fmt(binding, "query")
+        dist_fmt = self._fmt(binding, "dist")
+        region = wider(wider(train_fmt, query_fmt), dist_fmt)
+        lanes = lanes_for(region) if vectorize else 1
+
+        n, d = self.scale.knn_points, self.scale.knn_dims
+        k = self.scale.knn_k
+
+        b = KernelBuilder(self.name)
+        train = b.alloc("train", train_np.reshape(-1), train_fmt)
+        values = b.alloc("values", values_np, values_fmt)
+        query = b.alloc("query", query_np, query_fmt)
+        dist = b.zeros("dist", n, dist_fmt)
+        out = b.zeros("out", 1 + k, BINARY32)
+
+        # Hoist the query into registers (loaded and converted once).
+        query_regs: list[tuple] = []
+        col = 0
+        while col < d:
+            width = min(lanes, d - col)
+            if width > 1:
+                v = b.load(query, col, lanes=width)
+                query_regs.extend(
+                    (r, width) for r in vcast(b, v, query_fmt, region, width)
+                )
+            else:
+                v = b.load(query, col)
+                query_regs.append((ensure_fmt(b, v, query_fmt, region), 1))
+            col += width
+
+        zero = b.fconst(0.0, region)
+        for i in b.loop(n):
+            acc = zero
+            vacc = None
+            vacc_lanes = 1
+            col = 0
+            for qreg, width in query_regs:
+                base = i * d + col
+                if width > 1:
+                    vt = b.load(train, base, lanes=width)
+                    for part in vcast(b, vt, train_fmt, region, width):
+                        pl = (
+                            len(part.value)
+                            if isinstance(part.value, tuple)
+                            else 1
+                        )
+                        diff = b.fp("sub", region, part, qreg, lanes=pl)
+                        sq = b.fp("mul", region, diff, diff, lanes=pl)
+                        if vacc is None:
+                            vacc, vacc_lanes = sq, pl
+                        else:
+                            vacc = b.fp("add", region, vacc, sq, lanes=pl)
+                else:
+                    st = b.load(train, base)
+                    st = ensure_fmt(b, st, train_fmt, region)
+                    diff = b.fp("sub", region, st, qreg)
+                    sq = b.fp("mul", region, diff, diff)
+                    acc = b.fp("add", region, acc, sq)
+                col += width
+            if vacc is not None:
+                red = reduce_lanes(b, vacc, region, vacc_lanes)
+                acc = b.fp("add", region, acc, red)
+            result = ensure_fmt(b, acc, region, dist_fmt)
+            b.store(dist, i, result)
+
+        # Top-k selection: insertion into a k-entry best list (value and
+        # index).  Each candidate pays one load and up to k compares;
+        # inserts pay ALU shift bookkeeping.
+        best: list[tuple[float, int]] = []
+        for i in b.loop(n, soft=True):
+            cand = b.load(dist, i)
+            inserted = False
+            for slot in range(k):
+                if slot < len(best):
+                    limit = b.fconst(best[slot][0], dist_fmt)
+                    cmp = b.fp("cmp", dist_fmt, cand, limit)
+                    improves = cand.value < best[slot][0]
+                    b.branch(not improves, cmp)
+                    if improves:
+                        best.insert(slot, (cand.value, i))
+                        best = best[:k]
+                        b.alu(0)  # shift bookkeeping
+                        inserted = True
+                        break
+                else:
+                    best.append((cand.value, i))
+                    inserted = True
+                    b.alu(0)
+                    break
+            del inserted
+
+        # Regression estimate: gather the winners' targets and average
+        # (1/k is exact: k is a power of two).
+        acc = b.fconst(0.0, values_fmt)
+        for slot in b.loop(k, soft=True):
+            target = b.load(values, best[slot][1])
+            acc = b.fp("add", values_fmt, acc, target)
+        inv_k = b.fconst(1.0 / k, values_fmt)
+        estimate = b.fp("mul", values_fmt, acc, inv_k)
+        b.store(out, 0, ensure_fmt(b, estimate, values_fmt, BINARY32))
+
+        # Euclidean roots of the winners on the sequential binary32 unit.
+        for slot in b.loop(k, soft=True):
+            v = b.fconst(best[slot][0], dist_fmt)
+            v32 = ensure_fmt(b, v, dist_fmt, BINARY32)
+            root = b.fsqrt(BINARY32, v32)
+            b.store(out, 1 + slot, root)
+        return b.program()

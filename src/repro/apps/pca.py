@@ -1,0 +1,506 @@
+"""PCA: principal component analysis (paper §V-A).
+
+Pipeline: column means -> centering -> covariance -> leading
+eigenvectors by power iteration with deflation -> projection.
+
+Tunable variables
+-----------------
+``data``    samples (also holds the centered samples),
+``mean``    column means,
+``cov``     covariance matrix (the eigen-solver's working storage),
+``eigvec``  eigenvector storage,
+``proj``    the projected output.
+
+PCA is the paper's cautionary tale: its core math resists narrowing
+(the covariance/eigen stages stay in binary32), the stages have
+different best formats, and the seams between them inject casts --
+enough that the tuned program can cost *more* energy than the binary32
+baseline (Fig. 7: 107-108% for the tighter targets).  Off-the-shelf
+code only auto-vectorizes the elementwise centering; the
+``manual_vectorize`` flag additionally packs the covariance, matvec and
+projection dot products (the Fig. 7 labels 1-3 experiment).
+
+Division and square root (normalisation) run on the sequential binary32
+unit, with casts in and out when the eigenvector storage is narrower.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core import (
+    BINARY32,
+    FlexFloat,
+    FlexFloatArray,
+    FPFormat,
+    mathfn,
+    vectorizable,
+)
+from repro.hardware import KernelBuilder, Program
+from repro.tuning import VarSpec
+
+from .base import (
+    TransprecisionApp,
+    ensure_fmt,
+    lanes_for,
+    reduce_lanes,
+    vcast,
+    wider,
+)
+from .data import pca_inputs
+
+__all__ = ["PcaApp"]
+
+COMPONENTS = 2
+
+
+class PcaApp(TransprecisionApp):
+    """Projection onto the two leading principal components."""
+
+    name = "pca"
+
+    def __init__(self, scale="small", manual_vectorize: bool = False) -> None:
+        super().__init__(scale)
+        self.manual_vectorize = manual_vectorize
+
+    def variables(self):
+        n, d = self.scale.pca_samples, self.scale.pca_dims
+        return [
+            VarSpec("data", n * d, "samples / centered samples"),
+            VarSpec("mean", d, "column means"),
+            VarSpec("cov", d * d, "covariance working matrix"),
+            VarSpec("eigvec", d * COMPONENTS, "eigenvector storage"),
+            VarSpec("proj", n * COMPONENTS, "projected output"),
+        ]
+
+    # ------------------------------------------------------------------
+    def run_numeric(
+        self, binding: Mapping[str, FPFormat], input_id: int = 0
+    ) -> np.ndarray:
+        data_np = pca_inputs(self.scale, input_id)
+        data_fmt = self._fmt(binding, "data")
+        mean_fmt = self._fmt(binding, "mean")
+        cov_fmt = self._fmt(binding, "cov")
+        eig_fmt = self._fmt(binding, "eigvec")
+        proj_fmt = self._fmt(binding, "proj")
+
+        n, d = self.scale.pca_samples, self.scale.pca_dims
+        inv_n = 1.0 / n
+
+        x = FlexFloatArray(data_np, data_fmt)
+
+        # --- column means -------------------------------------------------
+        mean_region = wider(data_fmt, mean_fmt)
+        xr = x if data_fmt == mean_region else x.cast(mean_region)
+        mean = xr.sum(axis=0) * inv_n
+        mean_s = mean if mean_fmt == mean_region else mean.cast(mean_fmt)
+
+        # --- centering (compiler-vectorizable elementwise loop) -----------
+        center_region = wider(data_fmt, mean_fmt)
+
+        def center() -> FlexFloatArray:
+            a = x if data_fmt == center_region else x.cast(center_region)
+            m = (
+                mean_s
+                if mean_fmt == center_region
+                else mean_s.cast(center_region)
+            )
+            out = a - m
+            return out if data_fmt == center_region else out.cast(data_fmt)
+
+        if lanes_for(center_region) > 1:
+            with vectorizable():
+                centered = center()
+        else:
+            centered = center()
+
+        # --- covariance ----------------------------------------------------
+        cov_region = wider(data_fmt, cov_fmt)
+        vector_cov = self.manual_vectorize and lanes_for(cov_region) > 1
+
+        cov_np = np.zeros((d, d))
+        cov_store = FlexFloatArray(cov_np, cov_fmt)
+        for i in range(d):
+            ci = centered[:, i]
+            if data_fmt != cov_region:
+                ci = ci.cast(cov_region)
+            for j in range(i, d):
+                cj = centered[:, j]
+                if data_fmt != cov_region:
+                    cj = cj.cast(cov_region)
+
+                def cell() -> FlexFloat:
+                    return (ci * cj).sum() * FlexFloat(inv_n, cov_region)
+
+                if vector_cov:
+                    with vectorizable():
+                        value = cell()
+                else:
+                    value = cell()
+                stored = (
+                    value
+                    if cov_fmt == cov_region
+                    else value.cast(cov_fmt)
+                )
+                cov_store[i, j] = stored
+                cov_store[j, i] = stored
+
+        # --- power iteration with deflation --------------------------------
+        eig_region = wider(cov_fmt, eig_fmt)
+        vector_eig = self.manual_vectorize and lanes_for(eig_region) > 1
+        proj_region = wider(data_fmt, eig_fmt)
+        vector_proj = self.manual_vectorize and lanes_for(proj_region) > 1
+
+        proj_out = np.zeros((n, COMPONENTS))
+        start = 1.0 / float(np.sqrt(d))
+        for comp in range(COMPONENTS):
+            v = FlexFloatArray(np.full(d, start), eig_fmt)
+            for _ in range(self.scale.pca_iters):
+
+                def matvec() -> FlexFloatArray:
+                    c = (
+                        cov_store
+                        if cov_fmt == eig_region
+                        else cov_store.cast(eig_region)
+                    )
+                    vv = v if eig_fmt == eig_region else v.cast(eig_region)
+                    return (c * vv).sum(axis=1)
+
+                if vector_eig:
+                    with vectorizable():
+                        w = matvec()
+                        norm2 = (w * w).sum()
+                else:
+                    w = matvec()
+                    norm2 = (w * w).sum()
+                # Normalisation on the sequential binary32 unit.
+                sqrt_fmt = wider(eig_region, BINARY32)
+                norm2_32 = (
+                    norm2
+                    if norm2.fmt == sqrt_fmt
+                    else norm2.cast(sqrt_fmt)
+                )
+                norm = mathfn.sqrt(norm2_32)
+                inv = FlexFloat(1.0, sqrt_fmt) / norm
+                w32 = w if w.fmt == sqrt_fmt else w.cast(sqrt_fmt)
+                scaled = w32 * inv
+                v = (
+                    scaled
+                    if eig_fmt == sqrt_fmt
+                    else scaled.cast(eig_fmt)
+                )
+
+            # Rayleigh quotient and deflation.
+            if vector_eig:
+                with vectorizable():
+                    w = matvec()
+            else:
+                w = matvec()
+            vr = v if eig_fmt == eig_region else v.cast(eig_region)
+            lam = (vr * w).sum()
+            lam_c = lam if eig_region == cov_fmt else lam.cast(cov_fmt)
+            for i in range(d):
+                row = cov_store[i, :]
+                vi = vr[i]
+                correction = vr * float(vi) * float(lam_c)
+                correction = (
+                    correction
+                    if cov_fmt == eig_region
+                    else correction.cast(cov_fmt)
+                )
+                cov_store[i, :] = row - correction
+
+            # Projection of every sample onto the component.
+            def project() -> FlexFloatArray:
+                c = (
+                    centered
+                    if data_fmt == proj_region
+                    else centered.cast(proj_region)
+                )
+                vv = v if eig_fmt == proj_region else v.cast(proj_region)
+                return (c * vv).sum(axis=1)
+
+            if vector_proj:
+                with vectorizable():
+                    p = project()
+            else:
+                p = project()
+            p_s = p if proj_fmt == proj_region else p.cast(proj_fmt)
+            proj_out[:, comp] = p_s.to_numpy()
+        return proj_out.reshape(-1)
+
+    # ------------------------------------------------------------------
+    def build_program(
+        self,
+        binding: Mapping[str, FPFormat],
+        input_id: int = 0,
+        vectorize: bool = True,
+    ) -> Program:
+        data_np = pca_inputs(self.scale, input_id)
+        data_fmt = self._fmt(binding, "data")
+        mean_fmt = self._fmt(binding, "mean")
+        cov_fmt = self._fmt(binding, "cov")
+        eig_fmt = self._fmt(binding, "eigvec")
+        proj_fmt = self._fmt(binding, "proj")
+
+        n, d = self.scale.pca_samples, self.scale.pca_dims
+        inv_n = 1.0 / n
+        manual = self.manual_vectorize and vectorize
+
+        b = KernelBuilder(self.name)
+        data = b.alloc("data", data_np.reshape(-1), data_fmt)
+        mean = b.zeros("mean", d, mean_fmt)
+        cov = b.zeros("cov", d * d, cov_fmt)
+        eig = b.zeros("eigvec", d * COMPONENTS, eig_fmt)
+        proj = b.zeros("proj", n * COMPONENTS, proj_fmt)
+        wbuf = b.zeros("w", d, eig_fmt)
+
+        mean_region = wider(data_fmt, mean_fmt)
+        inv_n_mean = b.fconst(inv_n, mean_region)
+        for j in b.loop(d, soft=True):
+            acc = b.fconst(0.0, mean_region)
+            for i in b.loop(n):
+                v = b.load(data, i * d + j)
+                v = ensure_fmt(b, v, data_fmt, mean_region)
+                acc = b.fp("add", mean_region, acc, v)
+            m = b.fp("mul", mean_region, acc, inv_n_mean)
+            b.store(mean, j, ensure_fmt(b, m, mean_region, mean_fmt))
+
+        # Centering: elementwise, auto-vectorizable.
+        center_region = wider(data_fmt, mean_fmt)
+        c_lanes = lanes_for(center_region) if vectorize else 1
+        for i in b.loop(n, soft=True):
+            col = 0
+            while col < d:
+                width = min(c_lanes, d - col)
+                if width > 1:
+                    vx = b.load(data, i * d + col, lanes=width)
+                    vm = b.load(mean, col, lanes=width)
+                    px = vcast(b, vx, data_fmt, center_region, width)[0]
+                    pm = vcast(b, vm, mean_fmt, center_region, width)[0]
+                    diff = b.fp("sub", center_region, px, pm, lanes=width)
+                    res = vcast(b, diff, center_region, data_fmt, width)[0]
+                    b.store(data, i * d + col, res, lanes=width)
+                else:
+                    sx = b.load(data, i * d + col)
+                    sm = b.load(mean, col)
+                    sx = ensure_fmt(b, sx, data_fmt, center_region)
+                    sm = ensure_fmt(b, sm, mean_fmt, center_region)
+                    diff = b.fp("sub", center_region, sx, sm)
+                    res = ensure_fmt(b, diff, center_region, data_fmt)
+                    b.store(data, i * d + col, res)
+                col += width
+
+        # Covariance (upper triangle + mirror).
+        cov_region = wider(data_fmt, cov_fmt)
+        v_cov = manual and lanes_for(cov_region) > 1
+        inv_n_cov = b.fconst(inv_n, cov_region)
+        for i in range(d):
+            for j in range(i, d):
+                acc = self._dot_columns(
+                    b, data, data, n, d, i, j, data_fmt, data_fmt,
+                    cov_region, v_cov,
+                )
+                cell = b.fp("mul", cov_region, acc, inv_n_cov)
+                cell = ensure_fmt(b, cell, cov_region, cov_fmt)
+                b.store(cov, i * d + j, cell)
+                if i != j:
+                    b.store(cov, j * d + i, cell)
+
+        # Power iteration with deflation.
+        eig_region = wider(cov_fmt, eig_fmt)
+        v_eig = manual and lanes_for(eig_region) > 1
+        sqrt_fmt = BINARY32
+        start = 1.0 / float(np.sqrt(d))
+        for comp in range(COMPONENTS):
+            init = b.fconst(start, eig_fmt)
+            for j in b.loop(d, soft=True):
+                b.store(eig, comp * d + j, init)
+            for _ in b.loop(self.scale.pca_iters, soft=True):
+                self._matvec(b, cov, eig, wbuf, d, comp, cov_fmt, eig_fmt,
+                             eig_region, v_eig)
+                # norm^2 = w . w
+                acc = b.fconst(0.0, eig_region)
+                for j in b.loop(d):
+                    wj = b.load(wbuf, j)
+                    wj = ensure_fmt(b, wj, eig_fmt, eig_region)
+                    sq = b.fp("mul", eig_region, wj, wj)
+                    acc = b.fp("add", eig_region, acc, sq)
+                acc32 = ensure_fmt(b, acc, eig_region, sqrt_fmt)
+                norm = b.fsqrt(sqrt_fmt, acc32)
+                one = b.fconst(1.0, sqrt_fmt)
+                inv = b.fdiv(sqrt_fmt, one, norm)
+                for j in b.loop(d):
+                    wj = b.load(wbuf, j)
+                    wj32 = ensure_fmt(b, wj, eig_fmt, sqrt_fmt)
+                    scaled = b.fp("mul", sqrt_fmt, wj32, inv)
+                    b.store(
+                        eig, comp * d + j,
+                        ensure_fmt(b, scaled, sqrt_fmt, eig_fmt),
+                    )
+
+            # Rayleigh quotient.
+            self._matvec(b, cov, eig, wbuf, d, comp, cov_fmt, eig_fmt,
+                         eig_region, v_eig)
+            lam = b.fconst(0.0, eig_region)
+            for j in b.loop(d, soft=True):
+                vj = b.load(eig, comp * d + j)
+                vj = ensure_fmt(b, vj, eig_fmt, eig_region)
+                wj = b.load(wbuf, j)
+                wj = ensure_fmt(b, wj, eig_fmt, eig_region)
+                prod = b.fp("mul", eig_region, vj, wj)
+                lam = b.fp("add", eig_region, lam, prod)
+            lam_c = ensure_fmt(b, lam, eig_region, cov_region)
+            # Deflation: cov -= lambda * v v^T.
+            for i in b.loop(d, soft=True):
+                vi = b.load(eig, comp * d + i)
+                vi = ensure_fmt(b, vi, eig_fmt, cov_region)
+                vil = b.fp("mul", cov_region, vi, lam_c)
+                for j in b.loop(d):
+                    vj = b.load(eig, comp * d + j)
+                    vj = ensure_fmt(b, vj, eig_fmt, cov_region)
+                    corr = b.fp("mul", cov_region, vil, vj)
+                    cell = b.load(cov, i * d + j)
+                    cell = ensure_fmt(b, cell, cov_fmt, cov_region)
+                    cell = b.fp("sub", cov_region, cell, corr)
+                    b.store(cov, i * d + j,
+                            ensure_fmt(b, cell, cov_region, cov_fmt))
+
+            # Projection.
+            proj_region = wider(data_fmt, eig_fmt)
+            v_proj = manual and lanes_for(proj_region) > 1
+            for i in b.loop(n, soft=True):
+                acc = self._dot_row_vec(
+                    b, data, eig, i, comp, n, d, data_fmt, eig_fmt,
+                    proj_region, v_proj,
+                )
+                b.store(
+                    proj, i * COMPONENTS + comp,
+                    ensure_fmt(b, acc, proj_region, proj_fmt),
+                )
+        return b.program()
+
+    # ------------------------------------------------------------------
+    def _dot_columns(self, b, arr_a, arr_b, n, d, col_a, col_b,
+                     fmt_a, fmt_b, region, vector):
+        """Column-column dot product: strided loads, scalar or packed."""
+        acc = b.fconst(0.0, region)
+        if not vector:
+            for s in b.loop(n):
+                va = b.load(arr_a, s * d + col_a)
+                va = ensure_fmt(b, va, fmt_a, region)
+                vb = b.load(arr_b, s * d + col_b)
+                vb = ensure_fmt(b, vb, fmt_b, region)
+                prod = b.fp("mul", region, va, vb)
+                acc = b.fp("add", region, acc, prod)
+            return acc
+        # Manual vectorization packs strided column elements with ALU
+        # shuffles (gather), then runs packed MACs.
+        lanes = lanes_for(region)
+        vacc = None
+        s = 0
+        while s < n:
+            width = min(lanes, n - s)
+            if width > 1:
+                ra, rb = [], []
+                for off in range(width):
+                    ea = b.load(arr_a, (s + off) * d + col_a)
+                    ra.append(ensure_fmt(b, ea, fmt_a, region))
+                    eb = b.load(arr_b, (s + off) * d + col_b)
+                    rb.append(ensure_fmt(b, eb, fmt_b, region))
+                pa = b.alu(tuple(float(r.value) for r in ra), *ra)
+                pb = b.alu(tuple(float(r.value) for r in rb), *rb)
+                prod = b.fp("mul", region, pa, pb, lanes=width)
+                if vacc is None:
+                    vacc = prod
+                    vl = width
+                elif width == vl:
+                    vacc = b.fp("add", region, vacc, prod, lanes=width)
+                else:
+                    acc = b.fp("add", region, acc,
+                               reduce_lanes(b, prod, region, width))
+            else:
+                ea = b.load(arr_a, s * d + col_a)
+                ea = ensure_fmt(b, ea, fmt_a, region)
+                eb = b.load(arr_b, s * d + col_b)
+                eb = ensure_fmt(b, eb, fmt_b, region)
+                prod = b.fp("mul", region, ea, eb)
+                acc = b.fp("add", region, acc, prod)
+            s += width
+        if vacc is not None:
+            acc = b.fp("add", region, acc, reduce_lanes(b, vacc, region, vl))
+        return acc
+
+    def _matvec(self, b, cov, eig, wbuf, d, comp, cov_fmt, eig_fmt,
+                region, vector):
+        """w = cov . v, row by row."""
+        lanes = lanes_for(region) if vector else 1
+        for i in b.loop(d, soft=True):
+            acc = b.fconst(0.0, region)
+            vacc = None
+            vl = 1
+            j = 0
+            while j < d:
+                width = min(lanes, d - j)
+                if width > 1:
+                    vc = b.load(cov, i * d + j, lanes=width)
+                    pc = vcast(b, vc, cov_fmt, region, width)[0]
+                    ve = b.load(eig, comp * d + j, lanes=width)
+                    pe = vcast(b, ve, eig_fmt, region, width)[0]
+                    prod = b.fp("mul", region, pc, pe, lanes=width)
+                    if vacc is None:
+                        vacc, vl = prod, width
+                    elif width == vl:
+                        vacc = b.fp("add", region, vacc, prod, lanes=width)
+                    else:
+                        acc = b.fp("add", region, acc,
+                                   reduce_lanes(b, prod, region, width))
+                else:
+                    sc = b.load(cov, i * d + j)
+                    sc = ensure_fmt(b, sc, cov_fmt, region)
+                    se = b.load(eig, comp * d + j)
+                    se = ensure_fmt(b, se, eig_fmt, region)
+                    prod = b.fp("mul", region, sc, se)
+                    acc = b.fp("add", region, acc, prod)
+                j += width
+            if vacc is not None:
+                acc = b.fp("add", region, acc,
+                           reduce_lanes(b, vacc, region, vl))
+            b.store(wbuf, i, ensure_fmt(b, acc, region, eig_fmt))
+
+    def _dot_row_vec(self, b, data, eig, row, comp, n, d,
+                     data_fmt, eig_fmt, region, vector):
+        """Contiguous row x eigenvector dot product."""
+        lanes = lanes_for(region) if vector else 1
+        acc = b.fconst(0.0, region)
+        vacc = None
+        vl = 1
+        j = 0
+        while j < d:
+            width = min(lanes, d - j)
+            if width > 1:
+                vx = b.load(data, row * d + j, lanes=width)
+                px = vcast(b, vx, data_fmt, region, width)[0]
+                ve = b.load(eig, comp * d + j, lanes=width)
+                pe = vcast(b, ve, eig_fmt, region, width)[0]
+                prod = b.fp("mul", region, px, pe, lanes=width)
+                if vacc is None:
+                    vacc, vl = prod, width
+                elif width == vl:
+                    vacc = b.fp("add", region, vacc, prod, lanes=width)
+                else:
+                    acc = b.fp("add", region, acc,
+                               reduce_lanes(b, prod, region, width))
+            else:
+                sx = b.load(data, row * d + j)
+                sx = ensure_fmt(b, sx, data_fmt, region)
+                se = b.load(eig, comp * d + j)
+                se = ensure_fmt(b, se, eig_fmt, region)
+                prod = b.fp("mul", region, sx, se)
+                acc = b.fp("add", region, acc, prod)
+            j += width
+        if vacc is not None:
+            acc = b.fp("add", region, acc, reduce_lanes(b, vacc, region, vl))
+        return acc

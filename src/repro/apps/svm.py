@@ -1,0 +1,274 @@
+"""SVM: prediction stage of a polynomial-kernel SVM (paper §V-A).
+
+Tunable variables
+-----------------
+``support``  support-vector matrix (largest array; like KNN's training
+             set it tolerates very coarse quantization),
+``alpha``    dual coefficients per class,
+``bias``     per-class bias,
+``inputs``   the query batch,
+``scores``   decision scores (the program output).
+
+Two vectorizable regions dominate the run time: the ``query x support``
+dot products over the feature dimension, and the kernel-weighted
+accumulation over support vectors.  This is why the paper measures ~60%
+of SVM's FP operations as vectorizable and the largest memory-access
+reduction (48%) of the suite.
+
+The polynomial kernel ``(gamma * <s, q> + coef0)^3`` uses only ADD/MUL,
+so the whole prediction maps onto the transprecision slices.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core import FlexFloatArray, FPFormat, vectorizable
+from repro.hardware import KernelBuilder, Program
+from repro.tuning import VarSpec
+
+from .base import (
+    TransprecisionApp,
+    ensure_fmt,
+    lanes_for,
+    reduce_lanes,
+    vcast,
+    wider,
+)
+from .data import svm_inputs
+
+__all__ = ["SvmApp"]
+
+GAMMA = 0.5
+COEF0 = 1.0
+
+
+class SvmApp(TransprecisionApp):
+    """Multi-class polynomial-kernel SVM prediction."""
+
+    name = "svm"
+
+    def variables(self):
+        s, d = self.scale.svm_vectors, self.scale.svm_dims
+        c, m = self.scale.svm_classes, self.scale.svm_queries
+        return [
+            VarSpec("support", s * d, "support vectors"),
+            VarSpec("alpha", s * c, "dual coefficients"),
+            VarSpec("bias", c, "per-class bias"),
+            VarSpec("inputs", m * d, "query batch"),
+            VarSpec("kvals", s, "kernel-value accumulators"),
+            VarSpec("scores", m * c, "decision scores"),
+        ]
+
+    # ------------------------------------------------------------------
+    def run_numeric(
+        self, binding: Mapping[str, FPFormat], input_id: int = 0
+    ) -> np.ndarray:
+        support_np, alpha_np, bias_np, queries_np = svm_inputs(
+            self.scale, input_id
+        )
+        sv_fmt = self._fmt(binding, "support")
+        al_fmt = self._fmt(binding, "alpha")
+        bi_fmt = self._fmt(binding, "bias")
+        in_fmt = self._fmt(binding, "inputs")
+        kv_fmt = self._fmt(binding, "kvals")
+        sc_fmt = self._fmt(binding, "scores")
+
+        dot_region = wider(wider(sv_fmt, in_fmt), kv_fmt)
+        acc_region = wider(wider(al_fmt, sc_fmt), kv_fmt)
+
+        support = FlexFloatArray(support_np, sv_fmt)
+        alpha = FlexFloatArray(alpha_np, al_fmt)
+        bias = FlexFloatArray(bias_np, bi_fmt)
+        queries = FlexFloatArray(queries_np, in_fmt)
+
+        m = self.scale.svm_queries
+        c = self.scale.svm_classes
+
+        scores = np.zeros((m, c))
+        for q in range(m):
+            # Casts happen per scan, matching the kernel form: narrow
+            # operands are converted as they stream out of memory.
+            sv_r = (
+                support if sv_fmt == dot_region else support.cast(dot_region)
+            )
+            al_r = alpha if al_fmt == acc_region else alpha.cast(acc_region)
+            bi_r = bias if bi_fmt == acc_region else bias.cast(acc_region)
+            query = queries[q]
+            if in_fmt != dot_region:
+                query = query.cast(dot_region)
+
+            def dots() -> FlexFloatArray:
+                return (sv_r * query).sum(axis=1)
+
+            if lanes_for(dot_region) > 1:
+                with vectorizable():
+                    d = dots()
+            else:
+                d = dots()
+            # Polynomial kernel: evaluated where the dots live, then
+            # stored through the kvals accumulator format.
+            k = d * GAMMA + COEF0
+            k = k * k * k
+            if dot_region != kv_fmt:
+                k = k.cast(kv_fmt)
+            if kv_fmt != acc_region:
+                k = k.cast(acc_region)
+
+            def accumulate() -> FlexFloatArray:
+                return (al_r * k.reshape(-1, 1)).sum(axis=0)
+
+            if lanes_for(acc_region) > 1:
+                with vectorizable():
+                    sc = accumulate()
+            else:
+                sc = accumulate()
+            sc = sc + bi_r
+            if sc_fmt != acc_region:
+                sc = sc.cast(sc_fmt)
+            scores[q] = sc.to_numpy()
+        return scores.reshape(-1)
+
+    # ------------------------------------------------------------------
+    def build_program(
+        self,
+        binding: Mapping[str, FPFormat],
+        input_id: int = 0,
+        vectorize: bool = True,
+    ) -> Program:
+        support_np, alpha_np, bias_np, queries_np = svm_inputs(
+            self.scale, input_id
+        )
+        sv_fmt = self._fmt(binding, "support")
+        al_fmt = self._fmt(binding, "alpha")
+        bi_fmt = self._fmt(binding, "bias")
+        in_fmt = self._fmt(binding, "inputs")
+        kv_fmt = self._fmt(binding, "kvals")
+        sc_fmt = self._fmt(binding, "scores")
+
+        dot_region = wider(wider(sv_fmt, in_fmt), kv_fmt)
+        acc_region = wider(wider(al_fmt, sc_fmt), kv_fmt)
+        dot_lanes = lanes_for(dot_region) if vectorize else 1
+        acc_lanes = lanes_for(acc_region) if vectorize else 1
+
+        s, d = self.scale.svm_vectors, self.scale.svm_dims
+        c, m = self.scale.svm_classes, self.scale.svm_queries
+
+        b = KernelBuilder(self.name)
+        support = b.alloc("support", support_np.reshape(-1), sv_fmt)
+        alpha = b.alloc("alpha", alpha_np.reshape(-1), al_fmt)
+        bias = b.alloc("bias", bias_np, bi_fmt)
+        inputs = b.alloc("inputs", queries_np.reshape(-1), in_fmt)
+        kvals = b.zeros("kvals", s, kv_fmt)
+        scores = b.zeros("scores", m * c, sc_fmt)
+
+        gamma = b.fconst(GAMMA, dot_region)
+        coef0 = b.fconst(COEF0, dot_region)
+        zero_dot = b.fconst(0.0, dot_region)
+        zero_acc = b.fconst(0.0, acc_region)
+
+        for q in b.loop(m, soft=True):
+            # Hoist the query into registers for the support-vector scan.
+            qregs: list[tuple] = []
+            col = 0
+            while col < d:
+                width = min(dot_lanes, d - col)
+                if width > 1:
+                    v = b.load(inputs, q * d + col, lanes=width)
+                    qregs.extend(
+                        (r, width)
+                        for r in vcast(b, v, in_fmt, dot_region, width)
+                    )
+                else:
+                    v = b.load(inputs, q * d + col)
+                    qregs.append((ensure_fmt(b, v, in_fmt, dot_region), 1))
+                col += width
+
+            # Dot products + polynomial kernel per support vector.
+            for i in b.loop(s):
+                acc = zero_dot
+                vacc = None
+                vl = 1
+                col = 0
+                for qreg, width in qregs:
+                    base = i * d + col
+                    if width > 1:
+                        vs = b.load(support, base, lanes=width)
+                        for part in vcast(b, vs, sv_fmt, dot_region, width):
+                            pl = (
+                                len(part.value)
+                                if isinstance(part.value, tuple)
+                                else 1
+                            )
+                            prod = b.fp("mul", dot_region, part, qreg,
+                                        lanes=pl)
+                            if vacc is None:
+                                vacc, vl = prod, pl
+                            else:
+                                vacc = b.fp("add", dot_region, vacc, prod,
+                                            lanes=pl)
+                    else:
+                        ss = b.load(support, base)
+                        ss = ensure_fmt(b, ss, sv_fmt, dot_region)
+                        prod = b.fp("mul", dot_region, ss, qreg)
+                        acc = b.fp("add", dot_region, acc, prod)
+                    col += width
+                if vacc is not None:
+                    red = reduce_lanes(b, vacc, dot_region, vl)
+                    acc = b.fp("add", dot_region, acc, red)
+                kv = b.fp("mul", dot_region, acc, gamma)
+                kv = b.fp("add", dot_region, kv, coef0)
+                kv2 = b.fp("mul", dot_region, kv, kv)
+                kv3 = b.fp("mul", dot_region, kv2, kv)
+                b.store(kvals, i, ensure_fmt(b, kv3, dot_region, kv_fmt))
+
+            # Score accumulation: sum_s alpha[s, cls] * k[s].
+            for cls in b.loop(c, soft=True):
+                acc = zero_acc
+                vacc = None
+                vl = 1
+                i = 0
+                while i < s:
+                    width = min(acc_lanes, s - i)
+                    if width > 1:
+                        vk_raw = b.load(kvals, i, lanes=width)
+                        vk = vcast(b, vk_raw, kv_fmt, acc_region, width)[0]
+                        # alpha is laid out (s, c): class column is strided,
+                        # so alpha loads stay scalar and get packed.
+                        avals = []
+                        aregs = []
+                        for off in range(width):
+                            ar = b.load(alpha, (i + off) * c + cls)
+                            ar = ensure_fmt(b, ar, al_fmt, acc_region)
+                            aregs.append(ar)
+                            avals.append(float(ar.value))
+                        packed = b.alu(tuple(avals), *aregs)
+                        prod = b.fp("mul", acc_region, vk, packed,
+                                    lanes=width)
+                        if vacc is None:
+                            vacc, vl = prod, width
+                        elif width == vl:
+                            vacc = b.fp("add", acc_region, vacc, prod,
+                                        lanes=width)
+                        else:
+                            red = reduce_lanes(b, prod, acc_region, width)
+                            acc = b.fp("add", acc_region, acc, red)
+                    else:
+                        sk = b.load(kvals, i)
+                        sk = ensure_fmt(b, sk, kv_fmt, acc_region)
+                        ar = b.load(alpha, i * c + cls)
+                        ar = ensure_fmt(b, ar, al_fmt, acc_region)
+                        prod = b.fp("mul", acc_region, sk, ar)
+                        acc = b.fp("add", acc_region, acc, prod)
+                    i += width
+                if vacc is not None:
+                    red = reduce_lanes(b, vacc, acc_region, vl)
+                    acc = b.fp("add", acc_region, acc, red)
+                br = b.load(bias, cls)
+                br = ensure_fmt(b, br, bi_fmt, acc_region)
+                acc = b.fp("add", acc_region, acc, br)
+                result = ensure_fmt(b, acc, acc_region, sc_fmt)
+                b.store(scores, q * c + cls, result)
+        return b.program()

@@ -1,0 +1,155 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Examples::
+
+    python -m repro formats            # Fig. 1: the four FP formats
+    python -m repro fpu                # Fig. 3: slices, latencies, energy
+    python -m repro motivation         # intro energy-split measurement
+    python -m repro table1             # Table I
+    python -m repro fig4 fig5 fig6 fig7
+    python -m repro summary            # headline claims, paper vs ours
+    python -m repro all --scale paper
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis import (
+    ExperimentConfig,
+    ablation,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    motivation,
+    summary,
+    table1,
+)
+from repro.core import STANDARD_FORMATS
+from repro.hardware import fpu as fpu_model
+
+__all__ = ["main"]
+
+_DRIVERS = {
+    "motivation": motivation,
+    "table1": table1,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "summary": summary,
+    "ablation": ablation,
+}
+
+_ORDER = [
+    "formats",
+    "fpu",
+    "motivation",
+    "table1",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "summary",
+    "ablation",
+    "export",
+]
+
+
+def _render_formats() -> str:
+    """Fig. 1: the floating-point formats used throughout this work."""
+    lines = ["Fig. 1: floating-point formats (sign | exponent | mantissa)"]
+    for fmt in STANDARD_FORMATS:
+        if fmt.name == "binary64":
+            continue
+        lines.append(
+            f"  {fmt.name:12s} 1 | {fmt.exp_bits:2d} | {fmt.man_bits:2d}   "
+            f"range 2^{fmt.emin}..2^{fmt.emax}, "
+            f"precision {fmt.precision} bits, "
+            f"max {fmt.max_value:.4g}"
+        )
+    lines.append(
+        "  binary8 mirrors binary16's dynamic range; "
+        "binary16alt mirrors binary32's."
+    )
+    return "\n".join(lines)
+
+
+def _render_fpu() -> str:
+    """Fig. 3: the transprecision FPU's slices, latencies and energies."""
+    lines = ["Fig. 3: transprecision FPU (SmallFloatUnit)"]
+    for sl in fpu_model.SLICES:
+        formats = ", ".join(f.name for f in sl.formats)
+        lines.append(
+            f"  {sl.name}: width {sl.width:2d} bits x{sl.replicas} "
+            f"(SIMD lanes) hosting {formats}"
+        )
+    lines.append("  latencies: 32/16-bit arithmetic 2 cycles (pipelined), ")
+    lines.append("             binary8 arithmetic and all conversions 1 cycle")
+    lines.append("  per-op energy (pJ, scalar):")
+    for fmt in ("binary8", "binary16alt", "binary16", "binary32"):
+        add = fpu_model.ARITH_ENERGY_PJ[(fmt, "add")]
+        mul = fpu_model.ARITH_ENERGY_PJ[(fmt, "mul")]
+        lines.append(f"    {fmt:12s} add {add:5.1f}  mul {mul:5.1f}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Transprecision Floating-Point Platform "
+            "for Ultra-Low Power Computing' (DATE 2018)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=_ORDER + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        default="paper",
+        choices=("small", "paper"),
+        help="problem scale (small: fast smoke runs; paper: full runs)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="tuning-result cache directory (default: ./results/tuning)",
+    )
+    args = parser.parse_args(argv)
+
+    wanted = list(args.experiments)
+    if "all" in wanted:
+        wanted = _ORDER
+    cfg = ExperimentConfig(scale=args.scale, cache_dir=args.cache_dir)
+
+    for name in wanted:
+        start = time.time()
+        if name == "formats":
+            print(_render_formats())
+        elif name == "fpu":
+            print(_render_fpu())
+        elif name == "export":
+            from repro.analysis.export import export_all
+
+            written = export_all(cfg, "results/export")
+            print("wrote:")
+            for path in written:
+                print(f"  {path}")
+        else:
+            driver = _DRIVERS[name]
+            result = driver.compute(cfg)
+            print(driver.render(result))
+        elapsed = time.time() - start
+        print(f"\n[{name} done in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""FlexFloat core: formats, bit-exact quantization, scalar/array emulation.
+
+The public surface of the emulation library:
+
+>>> from repro.core import FlexFloat, BINARY16ALT
+>>> x = FlexFloat(3.14159, BINARY16ALT)
+>>> float(x)
+3.140625
+"""
+
+from .array import FlexFloatArray
+from .formats import (
+    BINARY8,
+    BINARY16,
+    BINARY16ALT,
+    BINARY32,
+    BINARY64,
+    STANDARD_FORMATS,
+    FPFormat,
+    format_by_name,
+)
+from .quantize import decode, encode, is_exact, quantize, quantize_array
+from .stats import (
+    Stats,
+    collect,
+    in_vectorizable_region,
+    record_cast,
+    record_op,
+    vectorizable,
+)
+from .rounding import ROUNDING_MODES, quantize_mode
+from .value import FlexFloat, FormatMismatchError
+from . import interchange, mathfn
+
+__all__ = [
+    "FPFormat",
+    "BINARY8",
+    "BINARY16",
+    "BINARY16ALT",
+    "BINARY32",
+    "BINARY64",
+    "STANDARD_FORMATS",
+    "format_by_name",
+    "quantize",
+    "quantize_array",
+    "encode",
+    "decode",
+    "is_exact",
+    "FlexFloat",
+    "FlexFloatArray",
+    "FormatMismatchError",
+    "Stats",
+    "collect",
+    "vectorizable",
+    "in_vectorizable_region",
+    "record_op",
+    "record_cast",
+    "mathfn",
+    "interchange",
+    "ROUNDING_MODES",
+    "quantize_mode",
+]

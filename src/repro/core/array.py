@@ -1,0 +1,262 @@
+"""FlexFloatArray: vectorized FlexFloat emulation over numpy.
+
+The paper's C++ library is scalar; precision tuning, however, runs the
+application hundreds of times, so this reproduction adds an array type
+with identical semantics to make tuning runs fast:
+
+* the payload is a float64 ndarray that is *always* sanitized to the
+  array's format (every element exactly representable);
+* elementwise operations require matching formats, exactly like
+  :class:`repro.core.value.FlexFloat`; casts are explicit;
+* reductions (:meth:`sum`, :meth:`dot`) quantize after **every** addition
+  level using a balanced binary tree, emulating the rounding pattern of
+  a vectorized/unrolled accumulator rather than computing in float64 and
+  rounding once -- the difference is exactly the rounding-error structure
+  the precision tuner must observe;
+* all operations report elementwise counts to :mod:`repro.core.stats`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+import numpy as np
+
+from .formats import FPFormat
+from .quantize import quantize_array
+from .stats import record_cast, record_op
+from .value import FlexFloat, FormatMismatchError
+
+__all__ = ["FlexFloatArray"]
+
+Operand = Union["FlexFloatArray", FlexFloat, int, float, np.ndarray]
+
+
+class FlexFloatArray:
+    """An n-dimensional array of values sanitized to one (e, m) format."""
+
+    __slots__ = ("_fmt", "_data")
+
+    def __init__(self, values, fmt: FPFormat) -> None:
+        if isinstance(values, FlexFloatArray):
+            record_cast(values._fmt, fmt, values.size)
+            payload = values._data
+        elif isinstance(values, FlexFloat):
+            record_cast(values.fmt, fmt)
+            payload = np.asarray(float(values), dtype=np.float64)
+        else:
+            payload = np.asarray(values, dtype=np.float64)
+        object.__setattr__(self, "_fmt", fmt)
+        object.__setattr__(self, "_data", quantize_array(payload, fmt))
+
+    @classmethod
+    def _wrap(cls, data: np.ndarray, fmt: FPFormat) -> "FlexFloatArray":
+        """Build from an already-sanitized payload without re-quantizing."""
+        out = object.__new__(cls)
+        object.__setattr__(out, "_fmt", fmt)
+        object.__setattr__(out, "_data", data)
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def fmt(self) -> FPFormat:
+        return self._fmt
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self._data.size)
+
+    @property
+    def ndim(self) -> int:
+        return self._data.ndim
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def to_numpy(self) -> np.ndarray:
+        """Explicit conversion to a plain float64 array (copy)."""
+        return self._data.copy()
+
+    def cast(self, fmt: FPFormat) -> "FlexFloatArray":
+        """Explicit elementwise format conversion (counted as casts)."""
+        record_cast(self._fmt, fmt, self.size)
+        return FlexFloatArray._wrap(quantize_array(self._data, fmt), fmt)
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def __getitem__(self, index) -> Union[FlexFloat, "FlexFloatArray"]:
+        picked = self._data[index]
+        if np.isscalar(picked) or picked.ndim == 0:
+            return FlexFloat(float(picked), self._fmt)
+        return FlexFloatArray._wrap(np.ascontiguousarray(picked), self._fmt)
+
+    def __setitem__(self, index, value) -> None:
+        if isinstance(value, FlexFloatArray):
+            if value._fmt != self._fmt:
+                raise FormatMismatchError(self._fmt, value._fmt, "setitem")
+            self._data[index] = value._data
+        elif isinstance(value, FlexFloat):
+            if value.fmt != self._fmt:
+                raise FormatMismatchError(self._fmt, value.fmt, "setitem")
+            self._data[index] = float(value)
+        else:
+            self._data[index] = quantize_array(
+                np.asarray(value, dtype=np.float64), self._fmt
+            )
+
+    def __iter__(self) -> Iterator[Union[FlexFloat, "FlexFloatArray"]]:
+        for i in range(len(self)):
+            yield self[i]
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other: Operand, op: str):
+        if isinstance(other, FlexFloatArray):
+            if other._fmt != self._fmt:
+                raise FormatMismatchError(self._fmt, other._fmt, op)
+            return other._data
+        if isinstance(other, FlexFloat):
+            if other.fmt != self._fmt:
+                raise FormatMismatchError(self._fmt, other.fmt, op)
+            return float(other)
+        if isinstance(other, (int, float)):
+            return quantize_array(
+                np.asarray(float(other), dtype=np.float64), self._fmt
+            )
+        if isinstance(other, np.ndarray):
+            return quantize_array(other.astype(np.float64), self._fmt)
+        return NotImplemented
+
+    def _binary(self, other: Operand, op: str, apply) -> "FlexFloatArray":
+        rhs = self._coerce(other, op)
+        if rhs is NotImplemented:
+            return NotImplemented
+        raw = apply(self._data, rhs)
+        record_op(self._fmt, op, int(np.broadcast(self._data, rhs).size))
+        return FlexFloatArray._wrap(quantize_array(raw, self._fmt), self._fmt)
+
+    def __add__(self, other):
+        return self._binary(other, "add", np.add)
+
+    def __radd__(self, other):
+        return self._binary(other, "add", lambda a, b: np.add(b, a))
+
+    def __sub__(self, other):
+        return self._binary(other, "sub", np.subtract)
+
+    def __rsub__(self, other):
+        return self._binary(other, "sub", lambda a, b: np.subtract(b, a))
+
+    def __mul__(self, other):
+        return self._binary(other, "mul", np.multiply)
+
+    def __rmul__(self, other):
+        return self._binary(other, "mul", lambda a, b: np.multiply(b, a))
+
+    def __truediv__(self, other):
+        return self._binary(other, "div", _ieee_divide)
+
+    def __rtruediv__(self, other):
+        return self._binary(other, "div", lambda a, b: _ieee_divide(b, a))
+
+    def __neg__(self) -> "FlexFloatArray":
+        return FlexFloatArray._wrap(-self._data, self._fmt)
+
+    def __abs__(self) -> "FlexFloatArray":
+        return FlexFloatArray._wrap(np.abs(self._data), self._fmt)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: int | None = None):
+        """Tree-reduction sum with per-level sanitization.
+
+        Emulates a vectorized accumulator: additions at each level of a
+        balanced binary tree, each result rounded to the array format.
+        ``n - 1`` additions per reduced lane are recorded, the same count
+        a hardware loop would execute.  With ``axis``, reduces along that
+        axis and returns a :class:`FlexFloatArray`; without, reduces
+        everything to one :class:`FlexFloat`.
+        """
+        if axis is None:
+            work = self._data.reshape(1, -1)
+        else:
+            work = np.moveaxis(self._data, axis, -1)
+            lead = work.shape[:-1]
+            work = work.reshape(-1, work.shape[-1])
+        n = work.shape[1]
+        if n == 0:
+            work = np.zeros((work.shape[0], 1))
+        else:
+            record_op(self._fmt, "add", (n - 1) * work.shape[0])
+        while work.shape[1] > 1:
+            if work.shape[1] % 2:
+                carry = work[:, -1:]
+                pairs = work[:, :-1]
+            else:
+                carry = None
+                pairs = work
+            summed = quantize_array(
+                pairs[:, 0::2] + pairs[:, 1::2], self._fmt
+            )
+            work = (
+                summed
+                if carry is None
+                else np.concatenate([summed, carry], axis=1)
+            )
+        if axis is None:
+            return FlexFloat(float(work[0, 0]), self._fmt)
+        return FlexFloatArray._wrap(
+            np.ascontiguousarray(work.reshape(lead)), self._fmt
+        )
+
+    def dot(self, other: "FlexFloatArray") -> FlexFloat:
+        """Elementwise product followed by the tree-reduction sum."""
+        return (self * other).sum()
+
+    def take(self, indices) -> "FlexFloatArray":
+        """Gather elements (pure addressing: no FP operations counted)."""
+        picked = self._data[np.asarray(indices)]
+        return FlexFloatArray._wrap(np.ascontiguousarray(picked), self._fmt)
+
+    def min(self) -> FlexFloat:
+        record_op(self._fmt, "min", max(self.size - 1, 0))
+        return FlexFloat(float(np.min(self._data)), self._fmt)
+
+    def max(self) -> FlexFloat:
+        record_op(self._fmt, "max", max(self.size - 1, 0))
+        return FlexFloat(float(np.max(self._data)), self._fmt)
+
+    # ------------------------------------------------------------------
+    # Shape utilities (no arithmetic, no stats)
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "FlexFloatArray":
+        return FlexFloatArray._wrap(self._data.reshape(*shape), self._fmt)
+
+    def copy(self) -> "FlexFloatArray":
+        return FlexFloatArray._wrap(self._data.copy(), self._fmt)
+
+    def transpose(self) -> "FlexFloatArray":
+        return FlexFloatArray._wrap(
+            np.ascontiguousarray(self._data.T), self._fmt
+        )
+
+    @property
+    def T(self) -> "FlexFloatArray":
+        return self.transpose()
+
+    def __repr__(self) -> str:
+        return f"FlexFloatArray({self._fmt!r}, shape={self.shape})"
+
+
+def _ieee_divide(a: np.ndarray, b) -> np.ndarray:
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.divide(a, b)

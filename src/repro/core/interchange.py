@@ -1,0 +1,102 @@
+"""Interchange with native numpy dtypes and packed storage buffers.
+
+Bridges the emulation library with the outside world:
+
+* :func:`to_float16` / :func:`from_float16` -- binary16 arrays as
+  ``numpy.float16`` (bit-exact both ways);
+* :func:`to_bfloat16_bits` / :func:`from_bfloat16_bits` -- binary16alt
+  arrays as uint16 payloads (binary16alt shares bfloat16's layout: the
+  top half of a binary32 word);
+* :func:`pack` / :func:`unpack` -- any format to a contiguous byte
+  buffer of its packed bit patterns, which is what the transprecision
+  platform actually stores in its data memory.  ``storage_bytes``
+  reports the footprint the paper's memory-traffic arguments rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .array import FlexFloatArray
+from .formats import BINARY16, BINARY16ALT, FPFormat
+from .quantize import decode_array, encode_array, quantize_array
+
+__all__ = [
+    "to_float16",
+    "from_float16",
+    "to_bfloat16_bits",
+    "from_bfloat16_bits",
+    "pack",
+    "unpack",
+    "storage_bytes",
+]
+
+
+def to_float16(array: FlexFloatArray) -> np.ndarray:
+    """A binary16 FlexFloatArray as a native ``numpy.float16`` array."""
+    if array.fmt != BINARY16:
+        raise ValueError(f"expected a binary16 array, got {array.fmt}")
+    return array.to_numpy().astype(np.float16)
+
+
+def from_float16(values: np.ndarray) -> FlexFloatArray:
+    """Wrap a ``numpy.float16`` array as a binary16 FlexFloatArray."""
+    return FlexFloatArray(np.asarray(values, dtype=np.float16)
+                          .astype(np.float64), BINARY16)
+
+
+def to_bfloat16_bits(array: FlexFloatArray) -> np.ndarray:
+    """A binary16alt array as uint16 bfloat16 bit patterns.
+
+    binary16alt has bfloat16's layout, i.e. the upper 16 bits of the
+    corresponding binary32 encoding.
+    """
+    if array.fmt != BINARY16ALT:
+        raise ValueError(f"expected a binary16alt array, got {array.fmt}")
+    as32 = array.to_numpy().astype(np.float32)
+    return (as32.view(np.uint32) >> np.uint32(16)).astype(np.uint16)
+
+
+def from_bfloat16_bits(bits: np.ndarray) -> FlexFloatArray:
+    """Wrap uint16 bfloat16 bit patterns as a binary16alt array."""
+    widened = np.asarray(bits, dtype=np.uint16).astype(np.uint32) << 16
+    return FlexFloatArray(
+        widened.view(np.float32).astype(np.float64), BINARY16ALT
+    )
+
+
+def pack(values: np.ndarray, fmt: FPFormat) -> bytes:
+    """Quantize and pack values into the format's byte representation.
+
+    Each element occupies ``fmt.storage_bytes`` bytes, little-endian;
+    this is the data-memory image the platform's loads and stores move.
+    """
+    patterns = encode_array(np.asarray(values, dtype=np.float64), fmt)
+    width = fmt.storage_bytes
+    out = bytearray(len(patterns) * width)
+    for i, pattern in enumerate(patterns):
+        out[i * width : (i + 1) * width] = int(pattern).to_bytes(
+            width, "little"
+        )
+    return bytes(out)
+
+
+def unpack(buffer: bytes, fmt: FPFormat) -> np.ndarray:
+    """Inverse of :func:`pack`: bytes back to float64 values."""
+    width = fmt.storage_bytes
+    if len(buffer) % width:
+        raise ValueError(
+            f"buffer length {len(buffer)} is not a multiple of {width}"
+        )
+    count = len(buffer) // width
+    patterns = np.empty(count, dtype=np.uint64)
+    for i in range(count):
+        patterns[i] = int.from_bytes(
+            buffer[i * width : (i + 1) * width], "little"
+        )
+    return decode_array(patterns, fmt)
+
+
+def storage_bytes(count: int, fmt: FPFormat) -> int:
+    """Memory footprint of ``count`` elements stored in ``fmt``."""
+    return count * fmt.storage_bytes

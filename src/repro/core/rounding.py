@@ -1,0 +1,82 @@
+"""Directed rounding modes for the quantizer (extension).
+
+The paper's unit rounds to nearest-even only; its successor (the FPnew
+line of transprecision FPUs) implements the full IEEE 754 set.  This
+module extends :func:`repro.core.quantize.quantize` with the directed
+modes so format exploration can also study rounding-mode sensitivity:
+
+* ``nearest_even`` -- IEEE round-to-nearest, ties to even (the default
+  everywhere else in the library);
+* ``toward_zero`` -- truncation (RTZ);
+* ``toward_positive`` / ``toward_negative`` -- directed modes (RTP/RTN).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .formats import FPFormat
+from .quantize import _decompose, quantize
+
+__all__ = ["ROUNDING_MODES", "quantize_mode"]
+
+ROUNDING_MODES = (
+    "nearest_even",
+    "toward_zero",
+    "toward_positive",
+    "toward_negative",
+)
+
+
+def _directed_shift(value: int, shift: int, round_up: bool) -> int:
+    """Shift right, rounding down (truncate) or up (away) as requested."""
+    if shift <= 0:
+        return value << (-shift)
+    rem = value & ((1 << shift) - 1)
+    out = value >> shift
+    if round_up and rem:
+        out += 1
+    return out
+
+
+def quantize_mode(x: float, fmt: FPFormat, mode: str = "nearest_even"
+                  ) -> float:
+    """Quantize with an explicit rounding mode.
+
+    ``nearest_even`` delegates to the standard quantizer; the directed
+    modes share its exact integer pipeline but replace the rounding
+    decision.  Overflow behaviour follows IEEE 754: RTZ and the
+    away-facing directed mode clamp to the largest finite value instead
+    of producing infinity when the direction points back toward zero.
+    """
+    if mode == "nearest_even":
+        return quantize(x, fmt)
+    if mode not in ROUNDING_MODES:
+        raise ValueError(
+            f"unknown rounding mode {mode!r}; choose from {ROUNDING_MODES}"
+        )
+    x = float(x)
+    if x != x or math.isinf(x) or x == 0.0:
+        return x
+
+    sign, ex, sig53 = _decompose(x)
+    # Direction of rounding for the magnitude.
+    if mode == "toward_zero":
+        up = False
+    elif mode == "toward_positive":
+        up = sign == 0
+    else:  # toward_negative
+        up = sign == 1
+
+    q = max(ex, fmt.emin) - fmt.man_bits
+    shift = q - ex + 52
+    rounded = _directed_shift(sig53, shift, up)
+    if rounded == 0:
+        return -0.0 if sign else 0.0
+    if rounded.bit_length() - 1 + q > fmt.emax:
+        if up:
+            return -math.inf if sign else math.inf
+        magnitude = fmt.max_value
+    else:
+        magnitude = math.ldexp(rounded, q)
+    return -magnitude if sign else magnitude

@@ -1,0 +1,181 @@
+"""The transprecision programming flow (paper Fig. 2).
+
+Five steps, end to end:
+
+1. **Replace types** -- application sources use FlexFloat-typed variables
+   (our apps are written that way: the binding parametrizes every
+   variable's format).
+2. **Tune precision** -- DistributedSearch explores precision bits per
+   variable through the FlexFloat wrapper against an SQNR target.
+3. **Map to supported types** -- tuned precisions become storage formats
+   of the chosen type system (V1/V2).
+4. **Collect statistics** -- the numeric form runs under the storage
+   binding with the statistics collector installed (operation and cast
+   counts, scalar vs vectorizable).
+5. **Native execution** -- the kernel form replaces emulated operations
+   with native ones on the virtual platform (cycles, memory, energy).
+
+:class:`TransprecisionFlow` drives all five and returns a
+:class:`FlowResult`; tuning results are cached on disk because steps 2-5
+are re-run by several experiment drivers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core import Stats, collect
+from repro.hardware import Program, RunReport, VirtualPlatform
+from repro.tuning import (
+    DistributedSearch,
+    TuningResult,
+    TypeSystem,
+    precision_to_sqnr_db,
+)
+from repro.apps import TransprecisionApp
+
+__all__ = ["FlowResult", "TransprecisionFlow", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    """Where tuning results are cached (override per-flow if needed)."""
+    return Path.cwd() / "results" / "tuning"
+
+
+@dataclass
+class FlowResult:
+    """Everything the experiment drivers consume."""
+
+    app: str
+    type_system: str
+    precision: float
+    tuning: TuningResult
+    binding: dict
+    stats: Stats
+    baseline_report: RunReport
+    tuned_report: RunReport
+
+    @property
+    def cycles_ratio(self) -> float:
+        return self.tuned_report.cycles / self.baseline_report.cycles
+
+    @property
+    def memory_ratio(self) -> float:
+        return (
+            self.tuned_report.memory_accesses
+            / self.baseline_report.memory_accesses
+        )
+
+    @property
+    def energy_ratio(self) -> float:
+        return self.tuned_report.energy_pj / self.baseline_report.energy_pj
+
+
+class TransprecisionFlow:
+    """Run the five-step flow for one application.
+
+    Parameters
+    ----------
+    app:
+        The application (any :class:`TransprecisionApp`).
+    type_system:
+        V1 or V2.
+    precision:
+        The paper-style requirement (1e-1, 1e-2, 1e-3); converted to an
+        SQNR target internally.
+    cache_dir:
+        Tuning cache location; None disables caching.
+    """
+
+    def __init__(
+        self,
+        app: TransprecisionApp,
+        type_system: TypeSystem,
+        precision: float,
+        cache_dir: Path | str | None = None,
+        platform: VirtualPlatform | None = None,
+    ) -> None:
+        self.app = app
+        self.type_system = type_system
+        self.precision = precision
+        self.target_db = precision_to_sqnr_db(precision)
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.platform = platform or VirtualPlatform()
+
+    # ------------------------------------------------------------------
+    # Step 2 (+3): tuning with a disk cache
+    # ------------------------------------------------------------------
+    def _cache_path(self) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        key = (
+            f"{self.app.name}-{self.app.scale.name}"
+            f"-{self.type_system.name}-{self.precision:g}.json"
+        )
+        return self.cache_dir / key
+
+    def tune(self, input_ids=None) -> TuningResult:
+        """Step 2: run (or load) the precision search."""
+        path = self._cache_path()
+        if path is not None and path.exists():
+            payload = json.loads(path.read_text())
+            return TuningResult(
+                program=payload["program"],
+                type_system=payload["type_system"],
+                target_db=payload["target_db"],
+                precision={
+                    k: int(v) for k, v in payload["precision"].items()
+                },
+                achieved_db={
+                    int(k): float(v)
+                    for k, v in payload["achieved_db"].items()
+                },
+                evaluations=payload["evaluations"],
+            )
+        search = DistributedSearch(self.app, self.type_system, self.target_db)
+        result = search.tune(input_ids)
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(
+                    {
+                        "program": result.program,
+                        "type_system": result.type_system,
+                        "target_db": result.target_db,
+                        "precision": result.precision,
+                        "achieved_db": {
+                            str(k): v for k, v in result.achieved_db.items()
+                        },
+                        "evaluations": result.evaluations,
+                    },
+                    indent=2,
+                )
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    def run(self, input_id: int = 0) -> FlowResult:
+        """Steps 2-5 for one input set."""
+        tuning = self.tune()
+        binding = tuning.storage_binding(self.type_system)  # step 3
+
+        stats = Stats()  # step 4
+        with collect(stats):
+            self.app.run_numeric(binding, input_id)
+
+        baseline = self.app.build_program(  # step 5: binary32 baseline
+            self.app.baseline_binding(), input_id, vectorize=False
+        )
+        tuned = self.app.build_program(binding, input_id, vectorize=True)
+        return FlowResult(
+            app=self.app.name,
+            type_system=self.type_system.name,
+            precision=self.precision,
+            tuning=tuning,
+            binding=binding,
+            stats=stats,
+            baseline_report=self.platform.run(baseline),
+            tuned_report=self.platform.run(tuned),
+        )

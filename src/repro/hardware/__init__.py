@@ -1,0 +1,34 @@
+"""Hardware models: transprecision FPU and PULPino-like virtual platform."""
+
+from . import fpu
+from .cpu import Timing, simulate_timing
+from .energy import DEFAULT_ENERGY_MODEL, EnergyBreakdown, EnergyModel
+from .isa import BRANCH_TAKEN_PENALTY, LOAD_USE_LATENCY, Instr, Kind
+from .memory import MemoryStats, count_memory
+from .platform import RunReport, VirtualPlatform
+from .program import ArrayRef, KernelBuilder, Program, Reg
+from .trace import InstructionMix, disassemble, instruction_mix
+
+__all__ = [
+    "fpu",
+    "Instr",
+    "Kind",
+    "BRANCH_TAKEN_PENALTY",
+    "LOAD_USE_LATENCY",
+    "Timing",
+    "simulate_timing",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "DEFAULT_ENERGY_MODEL",
+    "MemoryStats",
+    "count_memory",
+    "RunReport",
+    "VirtualPlatform",
+    "KernelBuilder",
+    "Program",
+    "ArrayRef",
+    "Reg",
+    "disassemble",
+    "instruction_mix",
+    "InstructionMix",
+]

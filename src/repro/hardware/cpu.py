@@ -1,0 +1,126 @@
+"""In-order pipeline timing model (the PULPino virtual platform's core).
+
+Replays a dynamic instruction stream through a single-issue in-order
+pipeline with register scoreboarding:
+
+* one instruction issues per cycle, when its sources are ready;
+* ALU results forward (no stall between dependent ALU instructions);
+* loads have one cycle of load-use latency;
+* FP arithmetic latency comes from the transprecision FPU model
+  (2 cycles for 32/16-bit formats, 1 cycle for binary8 and casts);
+* sequential div/sqrt block the FPU until completion (not pipelined);
+* taken branches pay a pipeline bubble.
+
+The model reports total cycles, stall cycles, and a cycle attribution by
+class (vector FP, cast, memory, other) used by the Fig. 6 driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .fpu.ops import arithmetic_latency, cast_latency, sequential_latency
+from .isa import BRANCH_TAKEN_PENALTY, LOAD_USE_LATENCY, Instr, Kind
+
+__all__ = ["Timing", "simulate_timing"]
+
+
+@dataclass
+class Timing:
+    """Cycle-level outcome of a program replay."""
+
+    cycles: int = 0
+    instructions: int = 0
+    stall_cycles: int = 0
+    #: Issue+stall cycles attributed per class: "fp_scalar", "fp_vector",
+    #: "cast", "mem", "branch", "other".
+    cycles_by_class: dict[str, int] = field(default_factory=dict)
+
+    def add_class_cycles(self, cls: str, n: int) -> None:
+        self.cycles_by_class[cls] = self.cycles_by_class.get(cls, 0) + n
+
+
+def _result_latency(
+    instr: Instr, fp_latency_override: dict[str, int] | None = None
+) -> int:
+    """Cycles from issue until the destination register is forwardable.
+
+    ``fp_latency_override`` maps format names to arithmetic latencies
+    (used by the latency-sensitivity ablation).
+    """
+    kind = instr.kind
+    if kind in (Kind.ALU, Kind.LI):
+        return 1
+    if kind == Kind.LOAD:
+        return LOAD_USE_LATENCY
+    if kind == Kind.FP:
+        if instr.op in ("div", "sqrt"):
+            return sequential_latency(instr.op)
+        if instr.op == "cmp":
+            return 1
+        if fp_latency_override and instr.fmt.name in fp_latency_override:
+            return fp_latency_override[instr.fmt.name]
+        return arithmetic_latency(instr.fmt)
+    if kind == Kind.CAST:
+        return cast_latency()
+    return 1
+
+
+def _classify(instr: Instr) -> str:
+    kind = instr.kind
+    if kind == Kind.FP:
+        return "fp_vector" if instr.lanes > 1 else "fp_scalar"
+    if kind == Kind.CAST:
+        return "cast"
+    if kind in (Kind.LOAD, Kind.STORE):
+        return "mem"
+    if kind == Kind.BRANCH:
+        return "branch"
+    return "other"
+
+
+def simulate_timing(
+    instrs: list[Instr],
+    fp_latency_override: dict[str, int] | None = None,
+) -> Timing:
+    """Replay the stream and account cycles.
+
+    Returns a :class:`Timing`; ``cycles`` covers issue of the first
+    instruction through completion of the last write-back.
+    """
+    timing = Timing(instructions=len(instrs))
+    ready: dict[int, int] = {}
+    cycle = 0  # next free issue slot
+    fpu_busy_until = 0
+    last_writeback = 0
+
+    for instr in instrs:
+        earliest = cycle
+        for src in instr.srcs:
+            when = ready.get(src, 0)
+            if when > earliest:
+                earliest = when
+        if instr.kind == Kind.FP and earliest < fpu_busy_until:
+            earliest = fpu_busy_until
+
+        stall = earliest - cycle
+        issue = earliest
+        consumed = 1  # the issue slot itself
+        if instr.kind == Kind.BRANCH and instr.taken:
+            consumed += BRANCH_TAKEN_PENALTY
+
+        latency = _result_latency(instr, fp_latency_override)
+        if instr.dst is not None:
+            done = issue + latency
+            ready[instr.dst] = done
+            if done > last_writeback:
+                last_writeback = done
+        if instr.kind == Kind.FP and instr.op in ("div", "sqrt"):
+            fpu_busy_until = issue + latency
+
+        cycle = issue + consumed
+        timing.stall_cycles += stall
+        timing.add_class_cycles(_classify(instr), stall + consumed)
+
+    timing.cycles = max(cycle, last_writeback)
+    return timing

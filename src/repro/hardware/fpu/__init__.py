@@ -1,0 +1,47 @@
+"""Transprecision FPU model: slices, latencies, energies, functional unit."""
+
+from .energy import (
+    ARITH_ENERGY_PJ,
+    SEQUENTIAL_ENERGY_PJ,
+    cast_energy_pj,
+    op_energy_pj,
+)
+from .ops import (
+    ARITH_OPS,
+    CAST_OPS,
+    COMPARE_OPS,
+    SEQUENTIAL_LATENCY,
+    SEQUENTIAL_OPS,
+    arithmetic_latency,
+    cast_latency,
+    sequential_latency,
+    simd_lanes,
+    supports,
+)
+from .slices import SLICE8, SLICE16, SLICE32, SLICES, Slice, slice_for
+from .unit import FPUResult, TransprecisionFPU
+
+__all__ = [
+    "ARITH_OPS",
+    "CAST_OPS",
+    "COMPARE_OPS",
+    "SEQUENTIAL_OPS",
+    "SEQUENTIAL_LATENCY",
+    "arithmetic_latency",
+    "cast_latency",
+    "sequential_latency",
+    "simd_lanes",
+    "supports",
+    "Slice",
+    "SLICE32",
+    "SLICE16",
+    "SLICE8",
+    "SLICES",
+    "slice_for",
+    "ARITH_ENERGY_PJ",
+    "SEQUENTIAL_ENERGY_PJ",
+    "cast_energy_pj",
+    "op_energy_pj",
+    "FPUResult",
+    "TransprecisionFPU",
+]

@@ -1,0 +1,102 @@
+"""Per-operation energy of the transprecision FPU.
+
+**Substitution note (see DESIGN.md):** the paper obtains these numbers
+from post-place-&-route simulation of a UMC 65nm implementation built
+from Synopsys DesignWare components; neither the technology libraries nor
+the netlists are available, so this module provides an analytical pJ/op
+table with the same *ratio structure*:
+
+* energy grows superlinearly with slice width (multiplier area ~ m^2,
+  adder ~ m), so binary8 ops are far cheaper than binary16, which is
+  cheaper than binary32;
+* binary16alt arithmetic is marginally cheaper than binary16 (8x8 vs
+  11x11 significand multiplier, despite the wider exponent datapath);
+* conversions are cheap single-cycle shifts/rounds, costed by the wider
+  of the two formats involved;
+* a full binary32 MUL+ADD pair lands near 19 pJ, the scale the paper
+  quotes for comparable units (Kaul et al.: 19.4 pJ/FLOP);
+* vector operations pay per active lane -- operand silencing forces the
+  inputs of every unused slice to zero, which we model as zero dynamic
+  energy in inactive slices.
+
+All values are picojoules per (per-lane) operation, worst-case corner.
+"""
+
+from __future__ import annotations
+
+from repro.core import FPFormat
+
+from .ops import ARITH_OPS, COMPARE_OPS, SEQUENTIAL_OPS, supports
+
+__all__ = [
+    "ARITH_ENERGY_PJ",
+    "SEQUENTIAL_ENERGY_PJ",
+    "cast_energy_pj",
+    "op_energy_pj",
+]
+
+#: Energy per scalar arithmetic operation, by (format name, op), in pJ.
+ARITH_ENERGY_PJ: dict[tuple[str, str], float] = {
+    ("binary32", "add"): 9.5,
+    ("binary32", "sub"): 9.5,
+    ("binary32", "mul"): 15.7,
+    ("binary32", "cmp"): 3.0,
+    ("binary16", "add"): 4.6,
+    ("binary16", "sub"): 4.6,
+    ("binary16", "mul"): 7.0,
+    ("binary16", "cmp"): 1.5,
+    ("binary16alt", "add"): 4.5,
+    ("binary16alt", "sub"): 4.5,
+    ("binary16alt", "mul"): 6.5,
+    ("binary16alt", "cmp"): 1.5,
+    ("binary8", "add"): 1.6,
+    ("binary8", "sub"): 1.6,
+    ("binary8", "mul"): 2.0,
+    ("binary8", "cmp"): 0.8,
+}
+
+#: Fused multiply-add (extension op): one multiplier array plus the
+#: wide-adder tail -- cheaper than a separate MUL followed by ADD.
+FMA_ENERGY_PJ: dict[str, float] = {
+    "binary32": 19.6,
+    "binary16": 8.8,
+    "binary16alt": 8.3,
+    "binary8": 2.5,
+}
+
+#: Total energy of the sequential binary32 operations (div/sqrt iterate
+#: for many cycles inside a compact non-pipelined datapath).
+SEQUENTIAL_ENERGY_PJ: dict[str, float] = {"div": 32.0, "sqrt": 40.0}
+
+#: Conversion energy by the wider bit-width involved in the cast.
+_CAST_ENERGY_BY_WIDTH_PJ = {32: 1.9, 16: 1.2, 8: 0.8}
+
+
+def cast_energy_pj(src: FPFormat | None, dst: FPFormat | None) -> float:
+    """Energy of one conversion; either side may be None for int32."""
+    width = 32  # integer side is a 32-bit datapath
+    widths = [fmt.bits for fmt in (src, dst) if fmt is not None]
+    if not widths:
+        raise ValueError("cast needs at least one FP side")
+    if src is not None and dst is not None:
+        width = max(widths)
+    return _CAST_ENERGY_BY_WIDTH_PJ[32 if width > 16 else (16 if width > 8 else 8)]
+
+
+def op_energy_pj(fmt: FPFormat, op: str, lanes: int = 1) -> float:
+    """Energy of one (possibly SIMD) slice operation.
+
+    Vector operations activate ``lanes`` slice replicas and pay per lane;
+    the remaining replicas are operand-silenced and contribute nothing.
+    """
+    if op in SEQUENTIAL_OPS:
+        if fmt.name != "binary32":
+            raise ValueError(f"{op} is only available in binary32")
+        return SEQUENTIAL_ENERGY_PJ[op] * lanes
+    if not supports(fmt):
+        raise ValueError(f"{fmt} is not implemented by the FPU")
+    if op == "fma":
+        return FMA_ENERGY_PJ[fmt.name] * lanes
+    if op not in ARITH_OPS and op not in COMPARE_OPS:
+        raise ValueError(f"unknown FPU operation {op!r}")
+    return ARITH_ENERGY_PJ[(fmt.name, op)] * lanes

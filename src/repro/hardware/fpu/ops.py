@@ -1,0 +1,93 @@
+"""Operations and latencies of the transprecision FPU (paper §IV).
+
+The unit supports three arithmetic operations -- addition, subtraction and
+multiplication -- plus conversions: float-to-float casts among the four
+formats and casts to/from integers.  Latency follows the paper exactly:
+
+* binary32, binary16 and binary16alt arithmetic is pipelined with one
+  stage: **latency 2 cycles, throughput 1 op/cycle**;
+* binary8 arithmetic and *all* conversion operations take **1 cycle**;
+* division and square root are not implemented by the unit; the platform
+  executes them as multi-cycle sequential operations on binary32 only
+  (RISC-V F-extension style), modeled in :data:`SEQUENTIAL_LATENCY`.
+"""
+
+from __future__ import annotations
+
+from repro.core import BINARY8, BINARY16, BINARY16ALT, BINARY32, FPFormat
+
+__all__ = [
+    "ARITH_OPS",
+    "FUSED_OPS",
+    "CAST_OPS",
+    "COMPARE_OPS",
+    "SEQUENTIAL_OPS",
+    "arithmetic_latency",
+    "cast_latency",
+    "sequential_latency",
+    "simd_lanes",
+    "supports",
+    "SEQUENTIAL_LATENCY",
+]
+
+#: Arithmetic operations implemented by the computational slices.
+ARITH_OPS = ("add", "sub", "mul")
+
+#: Fused operations: an extension beyond the paper's unit (its FPnew
+#: successors implement fused multiply-add in every slice).
+FUSED_OPS = ("fma",)
+
+#: Conversion operations (float/float and float/int directions).
+CAST_OPS = ("cvt_ff", "cvt_fi", "cvt_if")
+
+#: Comparisons execute in the slice comparators in a single cycle.
+COMPARE_OPS = ("cmp",)
+
+#: Multi-cycle sequential operations outside the transprecision unit.
+SEQUENTIAL_OPS = ("div", "sqrt")
+
+#: Latency in cycles of the sequential (non-slice) binary32 operations.
+#: RI5CY-class cores iterate these; values follow typical F-extension
+#: implementations for a 32-bit in-order core.
+SEQUENTIAL_LATENCY = {"div": 14, "sqrt": 18}
+
+_SUPPORTED = (BINARY8, BINARY16, BINARY16ALT, BINARY32)
+
+
+def supports(fmt: FPFormat) -> bool:
+    """True when the FPU has a slice for this format."""
+    return any(fmt == s for s in _SUPPORTED)
+
+
+def arithmetic_latency(fmt: FPFormat) -> int:
+    """Cycles from issue to result for an ADD/SUB/MUL in ``fmt``.
+
+    32-bit and 16-bit slices are pipelined with one stage (latency 2);
+    the 8-bit slice completes in a single cycle.
+    """
+    if not supports(fmt):
+        raise ValueError(f"{fmt} is not implemented by the FPU")
+    return 1 if fmt.bits <= 8 else 2
+
+
+def cast_latency() -> int:
+    """All conversion operations complete in one cycle."""
+    return 1
+
+
+def sequential_latency(op: str) -> int:
+    """Latency of a sequential op (div/sqrt), binary32 only."""
+    if op not in SEQUENTIAL_LATENCY:
+        raise ValueError(f"unknown sequential operation {op!r}")
+    return SEQUENTIAL_LATENCY[op]
+
+
+def simd_lanes(fmt: FPFormat) -> int:
+    """Sub-word parallelism available for a format (paper Fig. 3).
+
+    The 16-bit slices are duplicated (2 lanes), the 8-bit slices are
+    quadruplicated (4 lanes); binary32 is scalar only.
+    """
+    if not supports(fmt):
+        raise ValueError(f"{fmt} is not implemented by the FPU")
+    return 32 // fmt.bits

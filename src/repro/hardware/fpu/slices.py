@@ -1,0 +1,59 @@
+"""Slice structure of the transprecision FPU datapath (paper Fig. 3).
+
+The unit is built from three slice types with fixed widths of 32, 16 and
+8 bits.  Each slice hosts the arithmetic for the formats matching its
+width plus the conversion operations involving them; narrower slices are
+replicated (2x 16-bit, 4x 8-bit) so that a 32-bit operand register can
+feed packed-SIMD operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import BINARY8, BINARY16, BINARY16ALT, BINARY32, FPFormat
+
+__all__ = ["Slice", "SLICE32", "SLICE16", "SLICE8", "SLICES", "slice_for"]
+
+
+@dataclass(frozen=True)
+class Slice:
+    """One slice type of the datapath.
+
+    Attributes
+    ----------
+    width:
+        Datapath width in bits.
+    replicas:
+        How many copies exist (sub-word parallelism).
+    formats:
+        The FP formats whose arithmetic this slice hosts.
+    """
+
+    name: str
+    width: int
+    replicas: int
+    formats: tuple[FPFormat, ...]
+
+    def hosts(self, fmt: FPFormat) -> bool:
+        return any(fmt == f for f in self.formats)
+
+    @property
+    def max_lanes(self) -> int:
+        return self.replicas
+
+
+SLICE32 = Slice("slice32", 32, 1, (BINARY32,))
+SLICE16 = Slice("slice16", 16, 2, (BINARY16, BINARY16ALT))
+SLICE8 = Slice("slice8", 8, 4, (BINARY8,))
+
+#: All slices, widest first, as drawn in Fig. 3.
+SLICES = (SLICE32, SLICE16, SLICE8)
+
+
+def slice_for(fmt: FPFormat) -> Slice:
+    """The slice hosting a format's arithmetic."""
+    for candidate in SLICES:
+        if candidate.hosts(fmt):
+            return candidate
+    raise ValueError(f"no slice hosts {fmt}")

@@ -1,0 +1,122 @@
+"""Mini-ISA of the PULPino-like virtual platform.
+
+A RISC-V-flavoured dynamic instruction stream: the kernel builders in
+:mod:`repro.hardware.program` emit these instructions while computing the
+application functionally, and :mod:`repro.hardware.cpu` replays them
+through an in-order pipeline timing model.
+
+The instruction classes mirror what an RI5CY-class core executes:
+
+* ``ALU``/``LI`` -- single-cycle integer work (addressing, counters);
+* ``LOAD``/``STORE`` -- single-cycle TCDM accesses with one cycle of
+  load-use latency; RI5CY-style post-incrementing addressing is assumed,
+  so streaming accesses need no separate address arithmetic;
+* ``FP`` -- transprecision-FPU arithmetic, scalar or packed SIMD;
+* ``CAST`` -- single-cycle conversions on the FPU conversion slices;
+* ``BRANCH`` -- compare-and-branch; taken branches pay a pipeline bubble;
+* ``LOOP_SETUP`` -- RI5CY hardware-loop initialisation (two single-cycle
+  instructions per loop nest, zero per-iteration overhead).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from repro.core import FPFormat
+
+__all__ = ["Kind", "Instr", "BRANCH_TAKEN_PENALTY", "LOAD_USE_LATENCY"]
+
+#: Extra bubble cycles after a taken branch (RI5CY prefetch flush).
+BRANCH_TAKEN_PENALTY = 1
+
+#: Cycles until a loaded value is usable (1 = next-cycle, i.e. one
+#: potential stall for an immediately-dependent consumer).
+LOAD_USE_LATENCY = 2
+
+
+class Kind(IntEnum):
+    """Instruction class."""
+
+    ALU = 0
+    LI = 1
+    LOAD = 2
+    STORE = 3
+    FP = 4
+    CAST = 5
+    BRANCH = 6
+    LOOP_SETUP = 7
+    NOP = 8
+
+
+class Instr:
+    """One dynamic instruction.
+
+    Attributes
+    ----------
+    kind:
+        Instruction class (:class:`Kind`).
+    dst:
+        Destination virtual register id, or None.
+    srcs:
+        Source virtual register ids.
+    op:
+        Sub-operation: ``add``/``sub``/``mul``/``div``/``sqrt``/``cmp``
+        for FP, ``cvt_ff``/``cvt_fi``/``cvt_if`` for CAST.
+    fmt:
+        FP format of an FP op, or the *destination* format of a cast.
+    src_fmt:
+        Source format of a cast (None for int sources).
+    lanes:
+        SIMD lanes (1 = scalar; 2 = 2x16-bit; 4 = 4x8-bit).
+    width:
+        Bytes moved by a memory access (total across lanes).
+    taken:
+        Branch outcome (branches only).
+    """
+
+    __slots__ = (
+        "kind",
+        "dst",
+        "srcs",
+        "op",
+        "fmt",
+        "src_fmt",
+        "lanes",
+        "width",
+        "taken",
+    )
+
+    def __init__(
+        self,
+        kind: Kind,
+        dst: int | None = None,
+        srcs: tuple[int, ...] = (),
+        op: str | None = None,
+        fmt: FPFormat | None = None,
+        src_fmt: FPFormat | None = None,
+        lanes: int = 1,
+        width: int = 0,
+        taken: bool = False,
+    ) -> None:
+        self.kind = kind
+        self.dst = dst
+        self.srcs = srcs
+        self.op = op
+        self.fmt = fmt
+        self.src_fmt = src_fmt
+        self.lanes = lanes
+        self.width = width
+        self.taken = taken
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.kind.name.lower()]
+        if self.op:
+            parts.append(self.op)
+        if self.fmt is not None:
+            parts.append(str(self.fmt))
+        if self.lanes > 1:
+            parts.append(f"x{self.lanes}")
+        if self.dst is not None:
+            parts.append(f"r{self.dst}<-")
+        parts.extend(f"r{s}" for s in self.srcs)
+        return f"<{' '.join(parts)}>"

@@ -1,0 +1,57 @@
+"""Data-memory access accounting (Fig. 6's left-hand bars).
+
+The paper reports *memory accesses* normalized to the binary32 baseline,
+highlighting vectorial accesses: a packed load of two binary16 (or four
+binary8) operands is a single 32-bit TCDM access, which is where the
+memory-side savings of the narrow formats come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .isa import Instr, Kind
+
+__all__ = ["MemoryStats", "count_memory"]
+
+
+@dataclass
+class MemoryStats:
+    """Access counters for one program replay."""
+
+    loads: int = 0
+    stores: int = 0
+    vector_accesses: int = 0
+    bytes_moved: int = 0
+    #: Accesses by the element width in bits (vector accesses count once
+    #: under their element width).
+    by_element_bits: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return self.loads + self.stores
+
+    @property
+    def scalar_accesses(self) -> int:
+        return self.total - self.vector_accesses
+
+    def add(self, instr: Instr) -> None:
+        if instr.kind == Kind.LOAD:
+            self.loads += 1
+        elif instr.kind == Kind.STORE:
+            self.stores += 1
+        else:
+            return
+        if instr.lanes > 1:
+            self.vector_accesses += 1
+        self.bytes_moved += instr.width
+        bits = 32 if instr.fmt is None else instr.fmt.bits
+        self.by_element_bits[bits] = self.by_element_bits.get(bits, 0) + 1
+
+
+def count_memory(instrs: list[Instr]) -> MemoryStats:
+    """Tally all memory accesses in a replayed stream."""
+    stats = MemoryStats()
+    for instr in instrs:
+        stats.add(instr)
+    return stats

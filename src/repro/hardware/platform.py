@@ -1,0 +1,121 @@
+"""The virtual platform: timing + memory + energy for one program run.
+
+Equivalent of the paper's PULPino virtual platform runs (§V-A): executes
+a built kernel, then reports cycles, memory accesses, FP operation
+counts and the Fig. 7 energy split in one :class:`RunReport`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from .cpu import Timing, simulate_timing
+from .energy import DEFAULT_ENERGY_MODEL, EnergyBreakdown, EnergyModel
+from .isa import Instr, Kind
+from .memory import MemoryStats, count_memory
+from .program import Program
+
+__all__ = ["RunReport", "VirtualPlatform"]
+
+
+@dataclass
+class RunReport:
+    """Everything the experiment drivers need from one program run."""
+
+    program: str
+    timing: Timing
+    memory: MemoryStats
+    energy: EnergyBreakdown
+    #: FP arithmetic instruction counts keyed by (format name, op, lanes).
+    fp_instrs: Counter
+    #: Cast instruction counts keyed by (src name, dst name, lanes).
+    cast_instrs: Counter
+
+    # ------------------------------------------------------------------
+    @property
+    def cycles(self) -> int:
+        return self.timing.cycles
+
+    @property
+    def instructions(self) -> int:
+        return self.timing.instructions
+
+    @property
+    def memory_accesses(self) -> int:
+        return self.memory.total
+
+    @property
+    def energy_pj(self) -> float:
+        return self.energy.total_pj
+
+    def fp_operations(self) -> dict[tuple[str, str, bool], int]:
+        """Elementwise FP operation counts (lanes expanded), keyed by
+        (format, op, vector) -- the quantity plotted in Fig. 5."""
+        out: Counter = Counter()
+        for (fmt, op, lanes), n in self.fp_instrs.items():
+            out[(fmt, op, lanes > 1)] += n * lanes
+        return dict(out)
+
+    def total_fp_operations(self) -> int:
+        return sum(
+            n * lanes for (_, _, lanes), n in self.fp_instrs.items()
+        )
+
+    def total_casts(self) -> int:
+        return sum(
+            n * lanes for (_, _, lanes), n in self.cast_instrs.items()
+        )
+
+    def cast_cycles(self) -> int:
+        return self.timing.cycles_by_class.get("cast", 0)
+
+    def vector_cycles(self) -> int:
+        return self.timing.cycles_by_class.get("fp_vector", 0)
+
+
+class VirtualPlatform:
+    """Run programs and collect reports.
+
+    Parameters
+    ----------
+    energy_model:
+        Override the calibrated default (used by the ablation drivers).
+    """
+
+    def __init__(
+        self,
+        energy_model: EnergyModel | None = None,
+        fp_latency_override: dict[str, int] | None = None,
+    ) -> None:
+        self._energy = energy_model or DEFAULT_ENERGY_MODEL
+        self._fp_latency_override = fp_latency_override
+
+    @property
+    def energy_model(self) -> EnergyModel:
+        return self._energy
+
+    def run(self, program: Program) -> RunReport:
+        """Replay a built kernel through timing, memory and energy."""
+        timing = simulate_timing(program.instrs, self._fp_latency_override)
+        memory = count_memory(program.instrs)
+        energy = self._energy.split(program.instrs, timing.stall_cycles)
+
+        fp: Counter = Counter()
+        casts: Counter = Counter()
+        for instr in program.instrs:
+            if instr.kind == Kind.FP:
+                fp[(instr.fmt.name, instr.op, instr.lanes)] += 1
+            elif instr.kind == Kind.CAST:
+                src = instr.src_fmt.name if instr.src_fmt else "int32"
+                dst = instr.fmt.name if instr.fmt else "int32"
+                casts[(src, dst, instr.lanes)] += 1
+
+        return RunReport(
+            program=program.name,
+            timing=timing,
+            memory=memory,
+            energy=energy,
+            fp_instrs=fp,
+            cast_instrs=casts,
+        )

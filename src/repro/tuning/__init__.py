@@ -1,0 +1,69 @@
+"""Precision tuning: SQNR metric, type systems, DistributedSearch, wrapper.
+
+Typical use::
+
+    from repro.tuning import DistributedSearch, V2, precision_to_sqnr_db
+    search = DistributedSearch(app, V2, precision_to_sqnr_db(1e-1))
+    result = search.tune()
+    binding = result.storage_binding(V2)
+"""
+
+from .castaware import CastAwareSearch, estimate_cost_pj
+from .mapping import MAX_PRECISION_BITS, V1, V2, TypeSystem
+from .range_analysis import (
+    RangeReport,
+    analyze_range,
+    exponent_bits_needed,
+    fitting_formats,
+)
+from .refine import refine
+from .search import DistributedSearch, InfeasibleError, TuningResult
+from .sqnr import (
+    PRECISION_LEVELS,
+    meets_target,
+    precision_to_sqnr_db,
+    sqnr_db,
+)
+from .variables import (
+    TunableProgram,
+    VarSpec,
+    baseline_binding,
+    uniform_binding,
+)
+from .wrapper import (
+    FlexFloatWrapper,
+    parse_interval_map,
+    parse_precision_file,
+    write_interval_map,
+    write_precision_file,
+)
+
+__all__ = [
+    "CastAwareSearch",
+    "estimate_cost_pj",
+    "TypeSystem",
+    "V1",
+    "V2",
+    "MAX_PRECISION_BITS",
+    "DistributedSearch",
+    "TuningResult",
+    "InfeasibleError",
+    "refine",
+    "RangeReport",
+    "analyze_range",
+    "exponent_bits_needed",
+    "fitting_formats",
+    "sqnr_db",
+    "meets_target",
+    "precision_to_sqnr_db",
+    "PRECISION_LEVELS",
+    "VarSpec",
+    "TunableProgram",
+    "baseline_binding",
+    "uniform_binding",
+    "FlexFloatWrapper",
+    "parse_precision_file",
+    "write_precision_file",
+    "parse_interval_map",
+    "write_interval_map",
+]

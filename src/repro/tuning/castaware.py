@@ -1,0 +1,138 @@
+"""Cast-aware precision tuning (the paper's future work, §VI).
+
+The paper observes that DistributedSearch minimizes precision bits only:
+it happily assigns *different* formats to variables that interact in hot
+loops, and every interaction then pays a conversion -- PCA ends up
+spending >20% of its operations on casts and loses energy overall.  The
+stated future direction is "new techniques of precision tuning that take
+into account the costs of casts, formulating a multi-objective
+optimization problem".
+
+:class:`CastAwareSearch` implements that direction on top of the base
+heuristic:
+
+1. run the standard SQNR-constrained search;
+2. estimate an energy-like cost for the resulting assignment from the
+   emulation statistics (slice energy per op + conversion energy per
+   cast, via the hardware model's tables);
+3. hill-climb over *format-merge* moves: raising one variable to a
+   wider interval's storage format can delete casts wholesale; a move is
+   accepted only if it lowers the estimated cost **and** still satisfies
+   the SQNR constraint on every input set (more mantissa bits can still
+   lose dynamic range across the binary16alt -> binary16 boundary, so
+   re-validation is mandatory); repeat until no move helps.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core import Stats, collect
+
+from .mapping import TypeSystem
+from .search import DistributedSearch, TuningResult
+from .variables import TunableProgram
+
+__all__ = ["CastAwareSearch", "estimate_cost_pj"]
+
+
+def estimate_cost_pj(
+    program: TunableProgram,
+    binding: Mapping,
+    input_id: int = 0,
+) -> float:
+    """Energy-like cost of one assignment, from emulation statistics.
+
+    Slice arithmetic is priced with the FPU energy table, conversions
+    with the cast table, and memory traffic with the port energy scaled
+    by each access's storage width (narrow formats move more operands
+    per port access).  The absolute value is meaningless; only
+    comparisons between assignments of the same program matter.
+    """
+    from repro.core import format_by_name
+    from repro.hardware.energy import DEFAULT_ENERGY_MODEL
+    from repro.hardware.fpu.energy import cast_energy_pj, op_energy_pj
+    from repro.core.stats import ARITHMETIC_OPS
+
+    stats = Stats()
+    with collect(stats):
+        program.run(binding, input_id)
+
+    cost = 0.0
+    for key, count in stats.ops.items():
+        if key.op not in ARITHMETIC_OPS and key.op != "cmp":
+            continue  # div/sqrt/exp run sequentially; format-independent
+        try:
+            fmt = format_by_name(key.fmt)
+        except KeyError:
+            continue  # search formats are costed by their storage format
+        lanes = 32 // fmt.bits if key.vector else 1
+        per_instr = op_energy_pj(fmt, key.op, lanes)
+        instrs = count / lanes
+        cost += instrs * (per_instr + DEFAULT_ENERGY_MODEL.issue_pj)
+    for key, count in stats.casts.items():
+        try:
+            src = format_by_name(key.src)
+            dst = format_by_name(key.dst)
+        except KeyError:
+            continue
+        cost += count * (
+            cast_energy_pj(src, dst) + DEFAULT_ENERGY_MODEL.issue_pj
+        )
+    return cost
+
+
+class CastAwareSearch(DistributedSearch):
+    """DistributedSearch plus a cast-cost reduction phase."""
+
+    def tune_cast_aware(self, input_ids=None) -> TuningResult:
+        """Full flow: base tuning, then cost-driven format merging."""
+        base = self.tune(input_ids)
+        ts = self._ts
+        precisions = dict(base.precision)
+        binding = {
+            name: ts.storage_format(p) for name, p in precisions.items()
+        }
+        best_cost = estimate_cost_pj(self._program, binding)
+
+        improved = True
+        while improved:
+            improved = False
+            for name in self._names:
+                current_fmt = ts.storage_format(precisions[name])
+                for boundary in ts.boundaries():
+                    if boundary <= precisions[name]:
+                        continue
+                    candidate_fmt = ts.storage_format(boundary)
+                    if candidate_fmt == current_fmt:
+                        continue
+                    trial = dict(precisions)
+                    trial[name] = boundary
+                    trial_binding = {
+                        n: ts.storage_format(p) for n, p in trial.items()
+                    }
+                    cost = estimate_cost_pj(self._program, trial_binding)
+                    if cost >= best_cost:
+                        continue
+                    still_valid = all(
+                        self.evaluate(trial, input_id) >= self._target
+                        for input_id in base.achieved_db
+                    )
+                    if still_valid:
+                        precisions = trial
+                        best_cost = cost
+                        improved = True
+                        break
+
+        result = TuningResult(
+            program=base.program,
+            type_system=base.type_system,
+            target_db=base.target_db,
+            precision=precisions,
+            evaluations=self.evaluations,
+        )
+        for input_id in base.achieved_db:
+            result.achieved_db[input_id] = self.evaluate(
+                precisions, input_id
+            )
+        return result

@@ -1,0 +1,102 @@
+"""Dynamic-range analysis of program data (paper §III-A).
+
+The tuning tools the paper builds on explore *precision* only; dynamic
+range enters through a fixed precision-interval to exponent-width map.
+This module provides the measurement side that map is built from:
+given the values a variable actually takes, how many exponent bits does
+it need, and which standard format fits it?
+
+>>> import numpy as np
+>>> from repro.tuning.range_analysis import exponent_bits_needed
+>>> exponent_bits_needed(np.array([0.25, 1.0, 1000.0]))
+5
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import STANDARD_FORMATS, FPFormat
+
+__all__ = [
+    "RangeReport",
+    "analyze_range",
+    "exponent_bits_needed",
+    "fitting_formats",
+]
+
+
+@dataclass(frozen=True)
+class RangeReport:
+    """Observed dynamic range of a data set."""
+
+    min_exponent: int
+    max_exponent: int
+    has_zero: bool
+    has_negative: bool
+    exponent_bits: int
+
+    @property
+    def dynamic_range_db(self) -> float:
+        return 6.0206 * (self.max_exponent - self.min_exponent)
+
+
+def analyze_range(values) -> RangeReport:
+    """Measure the binade span of finite non-zero values."""
+    a = np.asarray(values, dtype=np.float64).reshape(-1)
+    finite = a[np.isfinite(a)]
+    nonzero = finite[finite != 0.0]
+    if nonzero.size == 0:
+        return RangeReport(0, 0, bool((finite == 0.0).any()),
+                           bool((finite < 0.0).any()), 1)
+    exponents = np.frexp(np.abs(nonzero))[1] - 1  # unbiased binades
+    lo, hi = int(exponents.min()), int(exponents.max())
+    return RangeReport(
+        min_exponent=lo,
+        max_exponent=hi,
+        has_zero=bool((finite == 0.0).any()),
+        has_negative=bool((finite < 0.0).any()),
+        exponent_bits=_bits_for_span(lo, hi),
+    )
+
+
+def _bits_for_span(lo: int, hi: int) -> int:
+    """Smallest IEEE exponent width whose normal range covers [lo, hi].
+
+    A width ``e`` covers unbiased exponents ``1 - bias .. bias`` with
+    ``bias = 2**(e-1) - 1``; values below the normal range can still be
+    held as subnormals, but the conservative contract here is full
+    normal-range coverage (no precision loss at the bottom).
+    """
+    for e in range(1, 12):
+        bias = (1 << (e - 1)) - 1
+        if 1 - bias <= lo and hi <= bias:
+            return e
+    return 11
+
+
+def exponent_bits_needed(values) -> int:
+    """Shorthand for ``analyze_range(values).exponent_bits``."""
+    return analyze_range(values).exponent_bits
+
+
+def fitting_formats(values, precision_bits: int = 1) -> list[FPFormat]:
+    """Standard formats that cover the values' range *and* precision.
+
+    The returned list is ordered narrowest-first: the head is the
+    cheapest standard format this data could live in.
+    """
+    report = analyze_range(values)
+    out = []
+    for fmt in STANDARD_FORMATS:
+        if fmt.name == "binary64":
+            continue
+        covers_range = (
+            fmt.emin <= report.min_exponent
+            and report.max_exponent <= fmt.emax
+        )
+        if covers_range and fmt.precision >= precision_bits:
+            out.append(fmt)
+    return out

@@ -1,0 +1,39 @@
+"""Statistical refinement across input sets (paper §II, second phase).
+
+DistributedSearch tunes precision for one input set at a time; the second
+phase joins those per-input bindings into one assignment valid for every
+input set.  The join is conservative -- take the per-variable maximum --
+followed by validation: if some input still misses the target (possible
+because even the maximum can interact differently with other variables'
+precisions), the greedy repair loop hands out additional bits against the
+failing input until every input passes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .search import DistributedSearch
+
+__all__ = ["refine"]
+
+
+def refine(
+    search: "DistributedSearch",
+    per_input: Mapping[int, Mapping[str, int]],
+) -> dict[str, int]:
+    """Join per-input precision assignments into one validated binding."""
+    if not per_input:
+        raise ValueError("refine() needs at least one per-input result")
+
+    names = next(iter(per_input.values())).keys()
+    joined = {
+        name: max(result[name] for result in per_input.values())
+        for name in names
+    }
+
+    for input_id in sorted(per_input):
+        while search.evaluate(joined, input_id) < search.target_db:
+            search.grant_best_bit(joined, input_id)
+    return joined

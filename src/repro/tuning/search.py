@@ -1,0 +1,247 @@
+"""DistributedSearch: heuristic per-variable precision tuning.
+
+Reimplementation of the tuner the paper uses from the fpPrecisionTuning
+suite (Ho et al., ASP-DAC'17).  Contract and structure follow the paper's
+description (§II):
+
+* input: a black-box program, a target output (the exact result), and a
+  configuration assigning a precision-bit count to every variable;
+* the tool runs the program many times, *heuristically searching the
+  minimum precision for each variable* for a fixed input set;
+* a second phase (see :mod:`repro.tuning.refine`) statistically joins the
+  bindings found for different input sets.
+
+The heuristic, per input set:
+
+1. **Feasibility** -- verify the most precise configuration meets the
+   SQNR target.
+2. **Independent minima** -- for each variable, binary-search the minimum
+   precision that still meets the target while all other variables stay
+   at maximum precision.
+3. **Greedy joint repair** -- start from the vector of independent minima
+   (usually slightly too optimistic, since errors accumulate); while the
+   joint configuration misses the target, grant one extra bit to the
+   variable whose increment buys the most SQNR.
+
+Dynamic range enters through the type system's interval map: a candidate
+precision ``p`` is evaluated with ``exp_bits(p)`` exponent bits (see
+:mod:`repro.tuning.mapping`), so a variable that saturates a narrow
+exponent simply fails the constraint and is pushed to the next interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core import BINARY64, FPFormat
+
+from .mapping import MAX_PRECISION_BITS, TypeSystem
+from .sqnr import sqnr_db
+from .variables import TunableProgram, VarSpec, baseline_binding
+
+__all__ = ["DistributedSearch", "TuningResult", "InfeasibleError"]
+
+
+class InfeasibleError(RuntimeError):
+    """The program misses the SQNR target even at maximum precision."""
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a tuning run.
+
+    ``precision`` maps each variable name to its tuned precision bits
+    (significant bits, implicit one included: binary8 is 3, binary16 is
+    11, ...).  ``achieved_db`` records the SQNR of the final configuration
+    per input set.
+    """
+
+    program: str
+    type_system: str
+    target_db: float
+    precision: dict[str, int]
+    achieved_db: dict[int, float] = field(default_factory=dict)
+    evaluations: int = 0
+
+    def storage_binding(self, ts: TypeSystem) -> dict[str, FPFormat]:
+        """Map tuned precisions to the type system's storage formats."""
+        return {
+            name: ts.storage_format(p) for name, p in self.precision.items()
+        }
+
+    def histogram(self, variables: Sequence[VarSpec]) -> dict[int, int]:
+        """Memory locations per precision-bit column (Fig. 4 rows)."""
+        out: dict[int, int] = {}
+        for spec in variables:
+            p = self.precision[spec.name]
+            out[p] = out.get(p, 0) + spec.size
+        return out
+
+    def locations_by_format(
+        self, ts: TypeSystem, variables: Sequence[VarSpec]
+    ) -> dict[str, int]:
+        """Memory locations per storage format (Table I rows)."""
+        out: dict[str, int] = {}
+        for spec in variables:
+            fmt = ts.storage_format(self.precision[spec.name])
+            out[fmt.name] = out.get(fmt.name, 0) + spec.size
+        return out
+
+    def variables_by_format(
+        self, ts: TypeSystem, variables: Sequence[VarSpec]
+    ) -> dict[str, int]:
+        """Variable (not location) counts per storage format."""
+        out: dict[str, int] = {}
+        for spec in variables:
+            fmt = ts.storage_format(self.precision[spec.name])
+            out[fmt.name] = out.get(fmt.name, 0) + 1
+        return out
+
+
+class DistributedSearch:
+    """Tune one program's variables against an SQNR target.
+
+    Parameters
+    ----------
+    program:
+        Any :class:`repro.tuning.variables.TunableProgram`.
+    type_system:
+        Supplies the precision-interval to exponent-width map (V1 or V2).
+    target_db:
+        SQNR constraint the program output must satisfy.
+    max_precision:
+        Upper precision bound (default: binary32's 24 bits).
+    """
+
+    def __init__(
+        self,
+        program: TunableProgram,
+        type_system: TypeSystem,
+        target_db: float,
+        max_precision: int = MAX_PRECISION_BITS,
+    ) -> None:
+        self._program = program
+        self._ts = type_system
+        self._target = target_db
+        self._max_p = max_precision
+        self._names = [spec.name for spec in program.variables()]
+        self._cache: dict[tuple, float] = {}
+        self._references: dict[int, np.ndarray] = {}
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+    # Evaluation with memoization
+    # ------------------------------------------------------------------
+    def _reference(self, input_id: int) -> np.ndarray:
+        if input_id not in self._references:
+            self._references[input_id] = np.asarray(
+                self._program.run(baseline_binding(self._program), input_id),
+                dtype=np.float64,
+            )
+        return self._references[input_id]
+
+    def _binding(self, precisions: Mapping[str, int]) -> dict[str, FPFormat]:
+        return {
+            name: self._ts.search_format(p) for name, p in precisions.items()
+        }
+
+    def evaluate(
+        self, precisions: Mapping[str, int], input_id: int
+    ) -> float:
+        """SQNR (dB) of the program under a precision assignment."""
+        key = (input_id, tuple(precisions[name] for name in self._names))
+        if key not in self._cache:
+            output = self._program.run(self._binding(precisions), input_id)
+            self._cache[key] = sqnr_db(self._reference(input_id), output)
+            self.evaluations += 1
+        return self._cache[key]
+
+    @property
+    def target_db(self) -> float:
+        """The SQNR constraint this search works against."""
+        return self._target
+
+    def _meets(self, precisions: Mapping[str, int], input_id: int) -> bool:
+        return self.evaluate(precisions, input_id) >= self._target
+
+    # ------------------------------------------------------------------
+    # The heuristic
+    # ------------------------------------------------------------------
+    def tune_single_input(self, input_id: int = 0) -> dict[str, int]:
+        """Phases 1-3 for one input set; returns precision bits per var."""
+        at_max = {name: self._max_p for name in self._names}
+        if not self._meets(at_max, input_id):
+            raise InfeasibleError(
+                f"{self._program.name}: target {self._target:.1f} dB "
+                f"unreachable at {self._max_p} precision bits "
+                f"(got {self.evaluate(at_max, input_id):.1f} dB)"
+            )
+
+        minima: dict[str, int] = {}
+        for name in self._names:
+            minima[name] = self._independent_minimum(name, input_id)
+
+        current = dict(minima)
+        while not self._meets(current, input_id):
+            self.grant_best_bit(current, input_id)
+        return current
+
+    def _independent_minimum(self, name: str, input_id: int) -> int:
+        """Binary-search the lowest workable precision for one variable."""
+        lo, hi = 1, self._max_p
+        while lo < hi:
+            mid = (lo + hi) // 2
+            candidate = {n: self._max_p for n in self._names}
+            candidate[name] = mid
+            if self._meets(candidate, input_id):
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def grant_best_bit(
+        self, current: dict[str, int], input_id: int
+    ) -> None:
+        """Give one extra precision bit to the most profitable variable."""
+        base = self.evaluate(current, input_id)
+        best_name = None
+        best_gain = -math.inf
+        for name in self._names:
+            if current[name] >= self._max_p:
+                continue
+            trial = dict(current)
+            trial[name] += 1
+            gain = self.evaluate(trial, input_id) - base
+            if gain > best_gain:
+                best_gain = gain
+                best_name = name
+        if best_name is None:  # everything at max and still failing
+            raise InfeasibleError(
+                f"{self._program.name}: greedy repair exhausted at max "
+                f"precision without meeting {self._target:.1f} dB"
+            )
+        current[best_name] += 1
+
+    # ------------------------------------------------------------------
+    def tune(self, input_ids: Sequence[int] | None = None) -> TuningResult:
+        """Full flow: per-input tuning plus statistical refinement."""
+        from .refine import refine  # local import to avoid a cycle
+
+        if input_ids is None:
+            input_ids = list(range(self._program.num_inputs))
+        per_input = {i: self.tune_single_input(i) for i in input_ids}
+        final = refine(self, per_input)
+        result = TuningResult(
+            program=self._program.name,
+            type_system=self._ts.name,
+            target_db=self._target,
+            precision=final,
+            evaluations=self.evaluations,
+        )
+        for i in input_ids:
+            result.achieved_db[i] = self.evaluate(final, i)
+        return result

@@ -1,0 +1,78 @@
+"""Tunable-program contract shared by the tuner and the applications.
+
+DistributedSearch treats the target program as a black box that
+
+1. declares a list of tunable variables (scalars or arrays -- the paper
+   counts *memory locations*, so each variable carries a size),
+2. accepts a per-variable format binding, and
+3. produces its numerical output for a given input set.
+
+Any object implementing :class:`TunableProgram` can be tuned; the six
+paper applications in :mod:`repro.apps` all do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.core import BINARY64, FPFormat
+
+__all__ = ["VarSpec", "TunableProgram", "baseline_binding", "uniform_binding"]
+
+
+@dataclass(frozen=True)
+class VarSpec:
+    """One tunable program variable.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in format bindings and tuner configuration files.
+    size:
+        Number of memory locations behind the variable (1 for a scalar,
+        the element count for an array).  Fig. 4 weights its histogram by
+        this size.
+    description:
+        Human-readable role of the variable.
+    """
+
+    name: str
+    size: int = 1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"variable {self.name!r} has size {self.size}")
+
+
+@runtime_checkable
+class TunableProgram(Protocol):
+    """The black-box program interface consumed by the tuner."""
+
+    name: str
+    num_inputs: int
+
+    def variables(self) -> Sequence[VarSpec]:
+        """Declare the tunable variables (stable order)."""
+        ...
+
+    def run(
+        self, binding: Mapping[str, FPFormat], input_id: int = 0
+    ) -> np.ndarray:
+        """Execute with the given per-variable formats; return the output."""
+        ...
+
+
+def baseline_binding(program: TunableProgram) -> dict[str, FPFormat]:
+    """All-binary64 binding: the exact reference configuration."""
+    return {spec.name: BINARY64 for spec in program.variables()}
+
+
+def uniform_binding(
+    program: TunableProgram, fmt: FPFormat
+) -> dict[str, FPFormat]:
+    """Bind every declared variable to one format."""
+    return {spec.name: fmt for spec in program.variables()}

@@ -1,0 +1,156 @@
+"""The FlexFloat wrapper (paper §III-A, last paragraph).
+
+External tuning tools such as DistributedSearch speak files: they write a
+configuration listing one precision (in bits) per program variable and
+expect the target binary to read it, tune its variables accordingly, and
+print its outputs on standard output.  The paper bridges this gap with a
+*wrapper* that performs three steps:
+
+1. read the file specifying a required precision for each variable;
+2. extract the dynamic range (exponent width) from a configuration file
+   that maps precision intervals to exponent widths;
+3. instantiate the program with the derived (exponent, mantissa) pairs.
+
+This module reproduces that tool.  The precision file format is
+one ``<variable> <bits>`` pair per line (``#`` comments allowed); the
+interval map is the type system's, serialized as ``<max_bits> <exp_bits>``
+lines.  :class:`FlexFloatWrapper` turns both into a concrete format
+binding and runs the program.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.core import FPFormat
+
+from .mapping import TypeSystem
+from .variables import TunableProgram
+
+__all__ = [
+    "FlexFloatWrapper",
+    "parse_precision_file",
+    "write_precision_file",
+    "parse_interval_map",
+    "write_interval_map",
+]
+
+
+def parse_precision_file(path: str | Path) -> dict[str, int]:
+    """Read a ``<variable> <bits>`` per line precision configuration."""
+    out: dict[str, int] = {}
+    for lineno, raw in enumerate(Path(path).read_text().splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(
+                f"{path}:{lineno}: expected '<variable> <bits>', got {raw!r}"
+            )
+        name, bits = parts
+        if name in out:
+            raise ValueError(f"{path}:{lineno}: duplicate variable {name!r}")
+        out[name] = int(bits)
+    return out
+
+
+def write_precision_file(
+    path: str | Path, precision: Mapping[str, int]
+) -> None:
+    """Serialize a precision assignment in the wrapper's file format."""
+    lines = [f"{name} {bits}" for name, bits in sorted(precision.items())]
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def parse_interval_map(path: str | Path) -> list[tuple[int, int]]:
+    """Read ``<max_precision_bits> <exp_bits>`` interval lines."""
+    out: list[tuple[int, int]] = []
+    for lineno, raw in enumerate(Path(path).read_text().splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(
+                f"{path}:{lineno}: expected '<max_bits> <exp_bits>', "
+                f"got {raw!r}"
+            )
+        out.append((int(parts[0]), int(parts[1])))
+    if not out:
+        raise ValueError(f"{path}: empty interval map")
+    return out
+
+
+def write_interval_map(path: str | Path, ts: TypeSystem) -> None:
+    """Serialize a type system's precision-interval to exponent map."""
+    lines = [
+        f"{max_p} {fmt.exp_bits}  # {fmt.name}" for max_p, fmt in ts.intervals
+    ]
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+class FlexFloatWrapper:
+    """Instantiate and run a program from tuner-facing configuration files.
+
+    Parameters
+    ----------
+    program:
+        The tunable program to wrap.
+    interval_map:
+        Either a :class:`TypeSystem` or a parsed ``(max_bits, exp_bits)``
+        list (e.g. from :func:`parse_interval_map`).
+    """
+
+    def __init__(
+        self,
+        program: TunableProgram,
+        interval_map: TypeSystem | list[tuple[int, int]],
+    ) -> None:
+        self._program = program
+        if isinstance(interval_map, TypeSystem):
+            self._intervals = [
+                (max_p, fmt.exp_bits) for max_p, fmt in interval_map.intervals
+            ]
+        else:
+            self._intervals = sorted(interval_map)
+
+    def exponent_bits_for(self, precision_bits: int) -> int:
+        """Step 2: dynamic range from the precision-interval map."""
+        for max_p, exp_bits in self._intervals:
+            if precision_bits <= max_p:
+                return exp_bits
+        raise ValueError(
+            f"precision {precision_bits} not covered by the interval map"
+        )
+
+    def binding_from_precision(
+        self, precision: Mapping[str, int]
+    ) -> dict[str, FPFormat]:
+        """Step 3: derive the template instantiation for every variable."""
+        declared = {spec.name for spec in self._program.variables()}
+        unknown = set(precision) - declared
+        if unknown:
+            raise ValueError(
+                f"precision file names unknown variables: {sorted(unknown)}"
+            )
+        missing = declared - set(precision)
+        if missing:
+            raise ValueError(
+                f"precision file misses variables: {sorted(missing)}"
+            )
+        return {
+            name: FPFormat(self.exponent_bits_for(bits), bits - 1)
+            for name, bits in precision.items()
+        }
+
+    def run_from_file(
+        self, precision_path: str | Path, input_id: int = 0
+    ) -> np.ndarray:
+        """Steps 1-3 plus execution: what the tuner invokes per candidate."""
+        precision = parse_precision_file(precision_path)
+        binding = self.binding_from_precision(precision)
+        return self._program.run(binding, input_id)

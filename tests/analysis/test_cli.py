@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestStaticCommands:
+    def test_formats(self, capsys):
+        assert main(["formats"]) == 0
+        out = capsys.readouterr().out
+        assert "binary16alt" in out
+        assert "binary8" in out
+
+    def test_fpu(self, capsys):
+        assert main(["fpu"]) == 0
+        out = capsys.readouterr().out
+        assert "slice16" in out
+        assert "1 cycle" in out
+
+    def test_multiple_commands(self, capsys):
+        assert main(["formats", "fpu"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out and "Fig. 3" in out
+
+
+class TestDriverCommands:
+    def test_motivation_small(self, capsys, tmp_path):
+        code = main(
+            ["motivation", "--scale", "small", "--cache-dir", str(tmp_path)]
+        )
+        assert code == 0
+        assert "fleet avg" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["formats", "--scale", "huge"])

@@ -1,0 +1,74 @@
+"""Tests for the shared analysis infrastructure."""
+
+import pytest
+
+from repro.analysis.common import (
+    ExperimentConfig,
+    bar,
+    flow_result,
+    format_table,
+    type_system_by_name,
+)
+from repro.tuning import V1, V2
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4  # header, rule, 2 rows
+
+    def test_title(self):
+        text = format_table(["h"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestBar:
+    def test_monotone(self):
+        assert bar(0.2).count("#") < bar(0.8).count("#")
+
+    def test_clamped(self):
+        assert bar(10.0).count("#") == bar(1.5).count("#")
+        assert bar(-1.0).count("#") == 0
+
+    def test_width(self):
+        assert len(bar(0.5, width=10)) == 10
+
+
+class TestTypeSystemLookup:
+    def test_lookup(self):
+        assert type_system_by_name("v1") is V1
+        assert type_system_by_name("V2") is V2
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            type_system_by_name("V3")
+
+
+class TestFlowCaching:
+    def test_flow_results_memoized_per_config(self, tmp_path):
+        cfg = ExperimentConfig(
+            scale="small", cache_dir=tmp_path, precisions=(1e-1,),
+            apps=("dwt",),
+        )
+        first = flow_result(cfg, "dwt", V2, 1e-1)
+        second = flow_result(cfg, "dwt", V2, 1e-1)
+        assert first is second  # same object: no recompute
+
+    def test_distinct_keys_not_shared(self, tmp_path):
+        cfg = ExperimentConfig(
+            scale="small", cache_dir=tmp_path, precisions=(1e-1,),
+            apps=("dwt",),
+        )
+        a = flow_result(cfg, "dwt", V2, 1e-1)
+        b = flow_result(cfg, "dwt", V1, 1e-1)
+        assert a is not b
+
+    def test_default_cache_dir_under_cwd(self):
+        cfg = ExperimentConfig()
+        assert cfg.resolved_cache_dir().name == "tuning"

@@ -1,0 +1,172 @@
+"""Tests for the experiment drivers (small scale, two apps, one level).
+
+Full-fleet paper-scale runs happen in ``benchmarks/``; here every driver
+is checked for structure, internal consistency and rendering.
+"""
+
+import pytest
+
+from repro.analysis import (
+    ExperimentConfig,
+    ablation,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    motivation,
+    summary,
+    table1,
+)
+
+
+@pytest.fixture(scope="module")
+def cfg(tmp_path_factory):
+    return ExperimentConfig(
+        scale="small",
+        cache_dir=tmp_path_factory.mktemp("cache"),
+        precisions=(1e-1,),
+        apps=("conv", "knn"),
+    )
+
+
+class TestMotivation:
+    def test_fractions_sum_to_one(self, cfg):
+        result = motivation.compute(cfg)
+        for data in result["per_app"].values():
+            assert data["fp"] + data["mem"] + data["other"] == pytest.approx(
+                1.0
+            )
+
+    def test_fleet_average_in_band(self):
+        # The calibration claim: full fleet lands near the paper's
+        # 30% / 20% split on the binary32 baselines.
+        result = motivation.compute(ExperimentConfig(scale="small"))
+        assert 0.22 <= result["fleet"]["fp"] <= 0.38
+        assert 0.13 <= result["fleet"]["mem"] <= 0.27
+
+    def test_render(self, cfg):
+        text = motivation.render(motivation.compute(cfg))
+        assert "FP ops" in text and "fleet avg" in text
+
+
+class TestTable1:
+    def test_totals_cover_all_variables(self, cfg):
+        result = table1.compute(cfg)
+        from repro.apps import make_app
+
+        expected = sum(
+            len(make_app(name, "small").variables()) for name in cfg.apps
+        )
+        for ts_name in ("V1", "V2"):
+            assert sum(result["totals"][ts_name].values()) == expected
+
+    def test_v1_never_uses_binary16alt(self, cfg):
+        result = table1.compute(cfg)
+        assert result["totals"]["V1"]["binary16alt"] == 0
+
+    def test_render_contains_paper_row(self, cfg):
+        text = table1.render(table1.compute(cfg))
+        assert "V2 (paper)" in text
+
+
+class TestFig4:
+    def test_histogram_mass_equals_locations(self, cfg):
+        result = fig4.compute(cfg)
+        from repro.apps import make_app
+
+        for precision, rows in result["matrix"].items():
+            for app_name, hist in rows.items():
+                app = make_app(app_name, "small")
+                total = sum(spec.size for spec in app.variables())
+                assert sum(hist.values()) == total
+
+    def test_render_has_band_legend(self, cfg):
+        text = fig4.render(fig4.compute(cfg))
+        assert "b16alt" in text
+
+
+class TestFig5:
+    def test_fractions_sum_to_one(self, cfg):
+        result = fig5.compute(cfg)
+        for per_app in result["breakdown"].values():
+            for data in per_app.values():
+                total = sum(data["scalar"].values()) + sum(
+                    data["vector"].values()
+                )
+                assert total == pytest.approx(1.0)
+
+    def test_below32_fraction_bounds(self, cfg):
+        result = fig5.compute(cfg)
+        for per_app in result["breakdown"].values():
+            for data in per_app.values():
+                assert 0.0 <= data["below32_fraction"] <= 1.0
+
+    def test_render(self, cfg):
+        assert "Fig. 5" in fig5.render(fig5.compute(cfg))
+
+
+class TestFig6:
+    def test_ratios_positive(self, cfg):
+        result = fig6.compute(cfg)
+        for per_app in result["rows"].values():
+            for data in per_app.values():
+                assert data["memory_ratio"] > 0
+                assert data["cycles_ratio"] > 0
+
+    def test_averages_match_rows(self, cfg):
+        result = fig6.compute(cfg)
+        ratios = [
+            data["cycles_ratio"]
+            for per_app in result["rows"].values()
+            for data in per_app.values()
+        ]
+        assert result["averages"]["cycles_ratio"] == pytest.approx(
+            sum(ratios) / len(ratios)
+        )
+
+    def test_render_mentions_paper(self, cfg):
+        assert "paper" in fig6.render(fig6.compute(cfg))
+
+
+class TestFig7:
+    def test_breakdown_adds_up(self, cfg):
+        result = fig7.compute(cfg)
+        for per_app in result["rows"].values():
+            for data in per_app.values():
+                assert data["fp"] + data["mem"] + data["other"] == (
+                    pytest.approx(data["energy_ratio"])
+                )
+
+    def test_pca_manual_series_present(self, cfg):
+        result = fig7.compute(cfg)
+        assert set(result["pca_manual"]) == set(cfg.precisions)
+
+    def test_render(self, cfg):
+        assert "manual" in fig7.render(fig7.compute(cfg))
+
+
+class TestSummary:
+    def test_rows_have_three_columns(self, cfg):
+        result = summary.compute(cfg)
+        assert all(len(row) == 3 for row in result["rows"])
+
+    def test_render(self, cfg):
+        assert "Headline" in summary.render(summary.compute(cfg))
+
+
+class TestAblation:
+    def test_cast_free_never_worse(self, cfg):
+        result = ablation.compute(cfg)
+        for data in result["rows"].values():
+            assert data["cast_free"] <= data["v2"] + 1e-9
+
+    def test_fast16_never_slower(self, cfg):
+        result = ablation.compute(cfg)
+        for data in result["rows"].values():
+            assert data["cycles_fast16"] <= data["cycles_v2"] + 1e-9
+
+    def test_no_binary8_system_structure(self):
+        assert ablation.V2_NO8.storage_format(3).name == "binary16alt"
+
+    def test_render(self, cfg):
+        assert "Ablations" in ablation.render(ablation.compute(cfg))

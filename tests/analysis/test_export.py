@@ -1,0 +1,62 @@
+"""Tests for the JSON/CSV export of experiment results."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis import ExperimentConfig
+from repro.analysis.export import export_all, write_csv
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    cfg = ExperimentConfig(
+        scale="small",
+        cache_dir=tmp_path_factory.mktemp("cache"),
+        precisions=(1e-1,),
+        apps=("conv", "knn"),
+    )
+    out_dir = tmp_path_factory.mktemp("export")
+    paths = export_all(cfg, out_dir)
+    return out_dir, paths
+
+
+class TestExportAll:
+    def test_all_artifacts_written(self, exported):
+        out_dir, paths = exported
+        names = {p.name for p in paths}
+        assert {"motivation.json", "table1.json", "fig4.json",
+                "fig5.json", "fig6.json", "fig7.json",
+                "fig4.csv", "fig6.csv", "fig7.csv"} <= names
+        assert all(p.exists() for p in paths)
+
+    def test_json_parses(self, exported):
+        out_dir, _ = exported
+        payload = json.loads((out_dir / "fig6.json").read_text())
+        assert "rows" in payload and "averages" in payload
+
+    def test_fig6_csv_rows(self, exported):
+        out_dir, _ = exported
+        with open(out_dir / "fig6.csv") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "precision"
+        assert len(rows) == 1 + 2  # header + 2 apps x 1 precision
+
+    def test_fig4_csv_long_form(self, exported):
+        out_dir, _ = exported
+        with open(out_dir / "fig4.csv") as handle:
+            rows = list(csv.DictReader(handle))
+        apps = {row["app"] for row in rows}
+        assert apps == {"conv", "knn"}
+        total = sum(int(row["locations"]) for row in rows)
+        assert total > 0
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(path, ["a", "b"], [[1, 2], [3, 4]])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]

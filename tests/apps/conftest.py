@@ -1,0 +1,11 @@
+"""Shared fixtures for application tests (small scale, cached flows)."""
+
+import pytest
+
+from repro.apps import APP_NAMES, make_app
+
+
+@pytest.fixture(params=APP_NAMES)
+def app(request):
+    """Every application at the small scale."""
+    return make_app(request.param, "small")

@@ -1,0 +1,98 @@
+"""Tests for the input generators: determinism, scaling, value ranges."""
+
+import numpy as np
+import pytest
+
+from repro.apps.data import (
+    SCALES,
+    conv_inputs,
+    dwt_inputs,
+    jacobi_inputs,
+    knn_inputs,
+    pca_inputs,
+    rng_for,
+    svm_inputs,
+)
+
+SMALL = SCALES["small"]
+PAPER = SCALES["paper"]
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a, _ = conv_inputs(SMALL, 0)
+        b, _ = conv_inputs(SMALL, 0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_input_sets_differ(self):
+        a, _ = conv_inputs(SMALL, 0)
+        b, _ = conv_inputs(SMALL, 1)
+        assert not np.array_equal(a, b)
+
+    def test_rng_stable_across_processes(self):
+        # Seeds must not depend on hash randomization.
+        r1 = rng_for("knn", 0).integers(0, 1 << 30)
+        r2 = rng_for("knn", 0).integers(0, 1 << 30)
+        assert r1 == r2
+
+    def test_apps_get_distinct_streams(self):
+        a = rng_for("knn", 0).integers(0, 1 << 30)
+        b = rng_for("svm", 0).integers(0, 1 << 30)
+        assert a != b
+
+
+class TestShapesAndRanges:
+    def test_jacobi_boundary_ring(self):
+        grid, source = jacobi_inputs(SMALL, 0)
+        n = SMALL.jacobi_n + 2
+        assert grid.shape == (n, n)
+        # Interior starts cold; boundary carries the heat.
+        assert np.all(grid[1:-1, 1:-1] == 0.0)
+        assert np.any(grid[0, :] > 0)
+        # No source on the boundary.
+        assert np.all(source[0, :] == 0)
+
+    def test_knn_targets_are_coordinate_sums(self):
+        train, values, query = knn_inputs(SMALL, 0)
+        np.testing.assert_allclose(values, train.sum(axis=1))
+        assert train.shape == (SMALL.knn_points, SMALL.knn_dims)
+        assert np.all((query >= 0.25) & (query <= 0.75))
+
+    def test_svm_features_are_quantized_levels(self):
+        support, alpha, bias, queries = svm_inputs(SMALL, 0)
+        levels = {-1.0, -0.5, -0.25, 0.25, 0.5, 1.0}
+        assert set(np.unique(support)) <= levels
+        assert set(np.unique(queries)) <= levels
+        assert alpha.shape == (SMALL.svm_vectors, SMALL.svm_classes)
+
+    def test_conv_kernel_normalized_blur(self):
+        image, kernel = conv_inputs(SMALL, 0)
+        assert kernel.shape == (5, 5)
+        assert np.all(kernel > 0)
+        assert np.sum(kernel) == pytest.approx(1.0)
+        assert np.all((image >= 0) & (image <= 1))
+
+    def test_dwt_signal_length(self):
+        signal = dwt_inputs(SMALL, 0)
+        assert signal.shape == (SMALL.dwt_length,)
+        # Power of two: clean dyadic decomposition.
+        assert SMALL.dwt_length & (SMALL.dwt_length - 1) == 0
+
+    def test_pca_offsets_dominate(self):
+        data = pca_inputs(SMALL, 0)
+        assert data.shape == (SMALL.pca_samples, SMALL.pca_dims)
+        # Means are far from zero: the centering-cancellation pressure.
+        assert np.all(np.abs(data.mean(axis=0)) > 0.5)
+
+
+class TestScales:
+    def test_paper_strictly_larger(self):
+        assert PAPER.knn_points > SMALL.knn_points
+        assert PAPER.conv_size > SMALL.conv_size
+        assert PAPER.jacobi_n > SMALL.jacobi_n
+        assert PAPER.svm_vectors > SMALL.svm_vectors
+
+    def test_knn_k_is_power_of_two(self):
+        # 1/k must be exact in every format (the regression mean).
+        for scale in (SMALL, PAPER):
+            assert scale.knn_k & (scale.knn_k - 1) == 0

@@ -1,0 +1,133 @@
+"""Structural tests on the generated kernels: the instruction streams
+must encode the paper's architectural story (lane widths by format,
+casts only at format seams, loop machinery, access widths)."""
+
+import pytest
+
+from repro.apps import make_app
+from repro.core import BINARY8, BINARY16, BINARY16ALT, BINARY32
+from repro.hardware import Kind, instruction_mix
+from repro.hardware.trace import disassemble
+
+
+def uniform(app, fmt):
+    return {spec.name: fmt for spec in app.variables()}
+
+
+class TestLaneWidths:
+    @pytest.mark.parametrize("name", ["knn", "conv", "dwt", "svm"])
+    def test_binary8_kernels_use_4_lanes(self, name):
+        app = make_app(name, "small")
+        program = app.build_program(uniform(app, BINARY8), 0,
+                                    vectorize=True)
+        lanes = {
+            i.lanes for i in program.instrs
+            if i.kind == Kind.FP and i.lanes > 1
+        }
+        assert 4 in lanes
+        assert not any(lane > 4 for lane in lanes)
+
+    @pytest.mark.parametrize("name", ["knn", "conv", "dwt", "svm"])
+    def test_16bit_kernels_use_2_lanes(self, name):
+        app = make_app(name, "small")
+        program = app.build_program(uniform(app, BINARY16ALT), 0,
+                                    vectorize=True)
+        lanes = {
+            i.lanes for i in program.instrs
+            if i.kind == Kind.FP and i.lanes > 1
+        }
+        assert lanes == {2}
+
+    @pytest.mark.parametrize("name", ["knn", "conv", "dwt", "svm", "pca",
+                                      "jacobi"])
+    def test_binary32_kernels_are_scalar(self, name):
+        app = make_app(name, "small")
+        program = app.build_program(uniform(app, BINARY32), 0,
+                                    vectorize=True)
+        assert all(i.lanes == 1 for i in program.instrs)
+
+    def test_jacobi_never_vectorizes(self):
+        app = make_app("jacobi", "small")
+        program = app.build_program(uniform(app, BINARY8), 0,
+                                    vectorize=True)
+        assert all(i.lanes == 1 for i in program.instrs)
+
+
+class TestCasts:
+    @pytest.mark.parametrize("name", ["knn", "conv", "dwt", "svm", "pca",
+                                      "jacobi"])
+    def test_uniform_narrow_binding_has_few_casts(self, name):
+        # With every variable in one format, the only remaining casts
+        # are the fixed binary32 seams (sqrt/div/int conversions).
+        app = make_app(name, "small")
+        program = app.build_program(uniform(app, BINARY16ALT), 0)
+        mix = instruction_mix(program)
+        assert mix.cast_instrs <= 0.05 * mix.total
+
+    def test_mixed_binding_inserts_casts_at_seams(self):
+        app = make_app("conv", "small")
+        mixed = {"image": BINARY8, "kernel": BINARY16ALT,
+                 "out": BINARY16ALT}
+        program = app.build_program(mixed, 0)
+        casts = [i for i in program.instrs if i.kind == Kind.CAST]
+        assert casts
+        # Every cast converts toward the wider region format.
+        for instr in casts:
+            if instr.src_fmt is not None and instr.fmt is not None:
+                assert instr.fmt.bits >= instr.src_fmt.bits
+
+    def test_baseline_has_no_casts(self):
+        app = make_app("dwt", "small")
+        program = app.build_program(app.baseline_binding(), 0)
+        assert instruction_mix(program).cast_instrs == 0
+
+
+class TestMemoryWidths:
+    def test_access_width_tracks_format(self):
+        app = make_app("conv", "small")
+        for fmt, width in [(BINARY8, 1), (BINARY16, 2), (BINARY32, 4)]:
+            program = app.build_program(uniform(app, fmt), 0,
+                                        vectorize=False)
+            loads = [i for i in program.instrs if i.kind == Kind.LOAD]
+            assert all(i.width == width for i in loads)
+
+    def test_vector_loads_use_full_words(self):
+        app = make_app("knn", "small")
+        program = app.build_program(uniform(app, BINARY8), 0,
+                                    vectorize=True)
+        vloads = [
+            i for i in program.instrs
+            if i.kind == Kind.LOAD and i.lanes > 1
+        ]
+        assert vloads
+        assert all(i.width == i.lanes * 1 for i in vloads)
+
+
+class TestLoopMachinery:
+    @pytest.mark.parametrize("name", ["jacobi", "pca", "svm", "knn"])
+    def test_loop_setup_and_branches_present(self, name):
+        app = make_app(name, "small")
+        program = app.build_program(app.baseline_binding(), 0)
+        mix = instruction_mix(program)
+        assert mix.by_kind["LOOP_SETUP"] > 0
+        assert mix.by_kind["BRANCH"] > 0
+
+    def test_disassembly_roundtrip_smoke(self):
+        app = make_app("dwt", "small")
+        program = app.build_program(app.baseline_binding(), 0)
+        text = disassemble(program, limit=50)
+        assert "fmul.s" in text or "fadd.s" in text
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["knn", "conv", "svm"])
+    def test_same_binding_same_stream(self, name):
+        app = make_app(name, "small")
+        binding = uniform(app, BINARY8)
+        a = app.build_program(binding, 0)
+        b = app.build_program(binding, 0)
+        assert len(a) == len(b)
+        for ia, ib in zip(a.instrs, b.instrs):
+            assert ia.kind == ib.kind
+            assert ia.op == ib.op
+            assert ia.lanes == ib.lanes

@@ -1,0 +1,133 @@
+"""Tests for the fused multiply-add extension (library + FPU + builder)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BINARY8,
+    BINARY16,
+    BINARY32,
+    FlexFloat,
+    FormatMismatchError,
+    collect,
+    mathfn,
+    quantize,
+)
+from repro.hardware import KernelBuilder, VirtualPlatform
+from repro.hardware.fpu import TransprecisionFPU, arithmetic_latency
+
+operands = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+class TestLibraryFma:
+    def test_single_rounding_beats_two_roundings(self):
+        # Choose operands where mul-then-add double-rounds: in binary16,
+        # the product needs the sticky information the separate multiply
+        # throws away.
+        a = FlexFloat(1.0 + 2.0 ** -10, BINARY16)
+        b = FlexFloat(1.0 + 2.0 ** -10, BINARY16)
+        c = FlexFloat(-1.0, BINARY16)
+        fused = mathfn.fma(a, b, c)
+        split = a * b + c
+        exact = float(a) * float(b) + float(c)
+        assert abs(float(fused) - exact) <= abs(float(split) - exact)
+
+    @given(operands, operands, operands)
+    @settings(max_examples=300)
+    def test_fma_equals_exactly_rounded_expression(self, x, y, z):
+        a = FlexFloat(x, BINARY16)
+        b = FlexFloat(y, BINARY16)
+        c = FlexFloat(z, BINARY16)
+        got = mathfn.fma(a, b, c)
+        want = quantize(float(a) * float(b) + float(c), BINARY16)
+        assert float(got) == want or (
+            math.isnan(float(got)) and math.isnan(want)
+        )
+
+    def test_mismatched_formats_rejected(self):
+        with pytest.raises(FormatMismatchError):
+            mathfn.fma(
+                FlexFloat(1, BINARY16),
+                FlexFloat(1, BINARY8),
+                FlexFloat(1, BINARY16),
+            )
+
+    def test_counted_as_one_operation(self):
+        with collect() as stats:
+            mathfn.fma(
+                FlexFloat(1, BINARY8),
+                FlexFloat(2, BINARY8),
+                FlexFloat(3, BINARY8),
+            )
+        assert stats.ops_named("fma") == 1
+        assert stats.total_arith_ops() == 1
+
+
+class TestUnitFma:
+    def test_scalar(self):
+        fpu = TransprecisionFPU()
+        res = fpu.fma(BINARY8, 2.0, 3.0, 1.0)
+        assert res.value == 7.0
+        assert res.latency == arithmetic_latency(BINARY8)
+
+    def test_simd(self):
+        fpu = TransprecisionFPU()
+        res = fpu.fma(
+            BINARY8, (1.0, 2.0, 3.0, 4.0), (2.0,) * 4, (1.0,) * 4
+        )
+        # 4*2+1 = 9 ties between 8 and 10 in binary8 and rounds to even.
+        assert res.values == (3.0, 5.0, 7.0, 8.0)
+
+    def test_lane_mismatch(self):
+        fpu = TransprecisionFPU()
+        with pytest.raises(ValueError, match="lane mismatch"):
+            fpu.fma(BINARY8, (1.0, 2.0), (1.0, 2.0), (1.0,))
+
+    def test_energy_accounted(self):
+        fpu = TransprecisionFPU()
+        fpu.fma(BINARY32, 1.0, 1.0, 1.0)
+        assert fpu.energy_pj > 0
+
+
+class TestBuilderFma:
+    def test_functional_and_counted(self):
+        b = KernelBuilder("fma")
+        out = b.zeros("out", 1, BINARY16)
+        x = b.fconst(2.0, BINARY16)
+        y = b.fconst(3.0, BINARY16)
+        z = b.fconst(0.5, BINARY16)
+        r = b.fma(BINARY16, x, y, z)
+        b.store(out, 0, r)
+        program = b.program()
+        assert program.output("out")[0] == 6.5
+
+        report = VirtualPlatform().run(program)
+        assert report.fp_instrs[("binary16", "fma", 1)] == 1
+
+    def test_fma_kernel_cheaper_than_mul_add(self):
+        def build(use_fma):
+            b = KernelBuilder("dotp")
+            x = b.alloc("x", [1.0] * 64, BINARY32)
+            w = b.alloc("w", [0.5] * 64, BINARY32)
+            out = b.zeros("out", 1, BINARY32)
+            acc = b.fconst(0.0, BINARY32)
+            for i in b.loop(64):
+                xi = b.load(x, i)
+                wi = b.load(w, i)
+                if use_fma:
+                    acc = b.fma(BINARY32, xi, wi, acc)
+                else:
+                    prod = b.fp("mul", BINARY32, xi, wi)
+                    acc = b.fp("add", BINARY32, acc, prod)
+            b.store(out, 0, acc)
+            return b.program()
+
+        platform = VirtualPlatform()
+        split = platform.run(build(False))
+        fused = platform.run(build(True))
+        assert fused.instructions < split.instructions
+        assert fused.energy_pj < split.energy_pj
+        assert build(True).output("out")[0] == 32.0

@@ -1,0 +1,141 @@
+"""Unit tests for repro.core.formats."""
+
+import pytest
+
+from repro.core import (
+    BINARY8,
+    BINARY16,
+    BINARY16ALT,
+    BINARY32,
+    BINARY64,
+    STANDARD_FORMATS,
+    FPFormat,
+    format_by_name,
+)
+
+
+class TestLayout:
+    def test_binary8_layout(self):
+        assert (BINARY8.exp_bits, BINARY8.man_bits) == (5, 2)
+        assert BINARY8.bits == 8
+        assert BINARY8.storage_bytes == 1
+
+    def test_binary16_layout(self):
+        assert (BINARY16.exp_bits, BINARY16.man_bits) == (5, 10)
+        assert BINARY16.bits == 16
+        assert BINARY16.storage_bytes == 2
+
+    def test_binary16alt_layout(self):
+        assert (BINARY16ALT.exp_bits, BINARY16ALT.man_bits) == (8, 7)
+        assert BINARY16ALT.bits == 16
+
+    def test_binary32_layout(self):
+        assert (BINARY32.exp_bits, BINARY32.man_bits) == (8, 23)
+        assert BINARY32.bits == 32
+        assert BINARY32.storage_bytes == 4
+
+    def test_binary64_layout(self):
+        assert (BINARY64.exp_bits, BINARY64.man_bits) == (11, 52)
+        assert BINARY64.bits == 64
+
+    def test_odd_width_storage_rounds_up(self):
+        assert FPFormat(7, 12).bits == 20
+        assert FPFormat(7, 12).storage_bytes == 3
+
+
+class TestDerivedQuantities:
+    def test_bias_matches_ieee(self):
+        assert BINARY8.bias == 15
+        assert BINARY16.bias == 15
+        assert BINARY16ALT.bias == 127
+        assert BINARY32.bias == 127
+        assert BINARY64.bias == 1023
+
+    def test_exponent_range(self):
+        assert (BINARY16.emin, BINARY16.emax) == (-14, 15)
+        assert (BINARY32.emin, BINARY32.emax) == (-126, 127)
+
+    def test_max_value_binary16_is_65504(self):
+        assert BINARY16.max_value == 65504.0
+
+    def test_max_value_binary8(self):
+        # (2 - 2^-2) * 2^15 = 1.75 * 32768
+        assert BINARY8.max_value == 57344.0
+
+    def test_min_normal(self):
+        assert BINARY16.min_normal == 2.0 ** -14
+        assert BINARY32.min_normal == 2.0 ** -126
+
+    def test_min_subnormal_binary16(self):
+        assert BINARY16.min_subnormal == 2.0 ** -24
+
+    def test_precision_counts_implicit_bit(self):
+        assert BINARY8.precision == 3
+        assert BINARY16.precision == 11
+        assert BINARY16ALT.precision == 8
+        assert BINARY32.precision == 24
+
+    def test_machine_epsilon(self):
+        assert BINARY32.machine_epsilon == 2.0 ** -23
+
+    def test_dynamic_range_is_positive_and_ordered(self):
+        assert 0 < BINARY8.dynamic_range_db
+        assert BINARY16ALT.dynamic_range_db > BINARY16.dynamic_range_db
+
+
+class TestRelations:
+    def test_binary8_mirrors_binary16_range(self):
+        # Paper SIII-A: binary8 was conceived to mirror binary16's range.
+        assert BINARY8.same_dynamic_range(BINARY16)
+        assert BINARY8.emax == BINARY16.emax
+
+    def test_binary16alt_mirrors_binary32_range(self):
+        assert BINARY16ALT.same_dynamic_range(BINARY32)
+        assert BINARY16ALT.emax == BINARY32.emax
+
+    def test_covers(self):
+        assert BINARY32.covers(BINARY16ALT)
+        assert BINARY16.covers(BINARY8)
+        assert not BINARY16.covers(BINARY16ALT)
+        assert not BINARY16ALT.covers(BINARY16)
+        assert BINARY64.covers(BINARY32)
+
+
+class TestValidationAndLookup:
+    def test_rejects_zero_exponent_bits(self):
+        with pytest.raises(ValueError):
+            FPFormat(0, 10)
+
+    def test_rejects_oversized_exponent(self):
+        with pytest.raises(ValueError):
+            FPFormat(12, 10)
+
+    def test_rejects_oversized_mantissa(self):
+        with pytest.raises(ValueError):
+            FPFormat(8, 53)
+
+    def test_negative_mantissa_rejected(self):
+        with pytest.raises(ValueError):
+            FPFormat(8, -1)
+
+    def test_lookup_by_name(self):
+        for fmt in STANDARD_FORMATS:
+            assert format_by_name(fmt.name) is fmt
+
+    def test_lookup_unknown_name(self):
+        with pytest.raises(KeyError, match="binary16alt"):
+            format_by_name("binary12")
+
+    def test_equality_ignores_name(self):
+        assert FPFormat(5, 10) == BINARY16
+        assert FPFormat(5, 10, name="half") == BINARY16
+
+    def test_hashable_and_usable_as_key(self):
+        table = {BINARY8: 1, BINARY16: 2}
+        assert table[FPFormat(5, 2)] == 1
+
+    def test_anonymous_repr_uses_template_syntax(self):
+        assert repr(FPFormat(7, 12)) == "flexfloat<7,12>"
+
+    def test_named_repr(self):
+        assert repr(BINARY16ALT) == "binary16alt"

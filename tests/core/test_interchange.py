@@ -1,0 +1,111 @@
+"""Tests for numpy-dtype interchange and packed storage buffers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BINARY8,
+    BINARY16,
+    BINARY16ALT,
+    BINARY32,
+    FlexFloatArray,
+    quantize,
+)
+from repro.core.interchange import (
+    from_bfloat16_bits,
+    from_float16,
+    pack,
+    storage_bytes,
+    to_bfloat16_bits,
+    to_float16,
+    unpack,
+)
+
+floats = st.lists(
+    st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+    min_size=1,
+    max_size=32,
+)
+
+
+class TestFloat16Bridge:
+    @given(floats)
+    @settings(max_examples=150)
+    def test_roundtrip_bit_exact(self, xs):
+        a = FlexFloatArray(xs, BINARY16)
+        native = to_float16(a)
+        back = from_float16(native)
+        np.testing.assert_array_equal(a.to_numpy(), back.to_numpy())
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="binary16"):
+            to_float16(FlexFloatArray([1.0], BINARY8))
+
+    def test_values_match_numpy_cast(self):
+        a = FlexFloatArray([3.14159, -2.71828], BINARY16)
+        np.testing.assert_array_equal(
+            to_float16(a), np.array([3.14159, -2.71828], dtype=np.float16)
+        )
+
+
+class TestBfloat16Bridge:
+    @given(floats)
+    @settings(max_examples=150)
+    def test_roundtrip_bit_exact(self, xs):
+        a = FlexFloatArray(xs, BINARY16ALT)
+        bits = to_bfloat16_bits(a)
+        assert bits.dtype == np.uint16
+        back = from_bfloat16_bits(bits)
+        np.testing.assert_array_equal(a.to_numpy(), back.to_numpy())
+
+    def test_known_pattern(self):
+        # 1.0 in bfloat16 = 0x3F80 (top half of binary32's 0x3F800000).
+        a = FlexFloatArray([1.0], BINARY16ALT)
+        assert to_bfloat16_bits(a)[0] == 0x3F80
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="binary16alt"):
+            to_bfloat16_bits(FlexFloatArray([1.0], BINARY16))
+
+
+class TestPackedBuffers:
+    @pytest.mark.parametrize("fmt", [BINARY8, BINARY16, BINARY16ALT,
+                                     BINARY32])
+    def test_roundtrip(self, fmt):
+        values = np.array([0.0, 1.0, -1.5, 100.0, -0.125])
+        buffer = pack(values, fmt)
+        assert len(buffer) == len(values) * fmt.storage_bytes
+        back = unpack(buffer, fmt)
+        expected = [quantize(v, fmt) for v in values]
+        np.testing.assert_array_equal(back, expected)
+
+    def test_binary8_buffer_is_one_byte_per_element(self):
+        assert len(pack(np.zeros(10), BINARY8)) == 10
+
+    def test_unpack_rejects_misaligned_buffer(self):
+        with pytest.raises(ValueError, match="multiple"):
+            unpack(b"\x00\x01\x02", BINARY16)
+
+    @given(floats)
+    @settings(max_examples=100)
+    def test_pack_quantizes_like_the_library(self, xs):
+        back = unpack(pack(np.array(xs), BINARY8), BINARY8)
+        for x, got in zip(xs, back):
+            want = quantize(x, BINARY8)
+            if math.isnan(want):
+                assert math.isnan(got)
+            else:
+                assert got == want
+
+    def test_storage_bytes(self):
+        assert storage_bytes(100, BINARY8) == 100
+        assert storage_bytes(100, BINARY16) == 200
+        assert storage_bytes(100, BINARY32) == 400
+        # The 4x/2x footprint ratio is the paper's memory argument.
+        assert (
+            storage_bytes(64, BINARY32) == 4 * storage_bytes(64, BINARY8)
+        )

@@ -1,0 +1,83 @@
+"""Tests for the math helpers (software-emulated non-slice operations)."""
+
+import math
+
+import numpy as np
+
+from repro.core import (
+    BINARY8,
+    BINARY16,
+    BINARY32,
+    FlexFloat,
+    FlexFloatArray,
+    collect,
+    mathfn,
+)
+
+
+class TestScalar:
+    def test_sqrt(self):
+        x = FlexFloat(4.0, BINARY16)
+        assert float(mathfn.sqrt(x)) == 2.0
+
+    def test_sqrt_rounds_to_format(self):
+        x = FlexFloat(2.0, BINARY8)
+        assert float(mathfn.sqrt(x)) == 1.5  # sqrt(2)=1.414 -> b8 grid
+
+    def test_sqrt_of_negative_is_nan(self):
+        assert mathfn.sqrt(FlexFloat(-1.0, BINARY16)).is_nan()
+
+    def test_exp(self):
+        x = FlexFloat(0.0, BINARY16)
+        assert float(mathfn.exp(x)) == 1.0
+
+    def test_exp_overflows_to_inf(self):
+        x = FlexFloat(100.0, BINARY8)
+        assert mathfn.exp(x).is_inf()
+
+    def test_log(self):
+        assert float(mathfn.log(FlexFloat(1.0, BINARY32))) == 0.0
+
+    def test_fmin_fmax(self):
+        a = FlexFloat(1.0, BINARY8)
+        b = FlexFloat(2.0, BINARY8)
+        assert mathfn.fmin(a, b) is a
+        assert mathfn.fmax(a, b) is b
+
+    def test_clamp(self):
+        x = FlexFloat(5.0, BINARY8)
+        assert float(mathfn.clamp(x, 0.0, 2.0)) == 2.0
+        assert float(mathfn.clamp(x, 6.0, 8.0)) == 6.0
+        assert mathfn.clamp(x, 0.0, 10.0) is x
+
+    def test_fabs(self):
+        assert float(mathfn.fabs(FlexFloat(-2.0, BINARY8))) == 2.0
+
+
+class TestArray:
+    def test_sqrt_elementwise(self):
+        a = FlexFloatArray([1.0, 4.0, 9.0], BINARY16)
+        np.testing.assert_array_equal(
+            mathfn.sqrt(a).to_numpy(), [1.0, 2.0, 3.0]
+        )
+
+    def test_exp_elementwise_sanitized(self):
+        a = FlexFloatArray([0.0, 1.0], BINARY8)
+        out = mathfn.exp(a).to_numpy()
+        assert out[0] == 1.0
+        assert out[1] == 2.5  # e = 2.718 on the 3-significant-bit grid
+
+    def test_negative_sqrt_elementwise_is_nan(self):
+        a = FlexFloatArray([-1.0], BINARY16)
+        assert math.isnan(mathfn.sqrt(a).to_numpy()[0])
+
+
+class TestStats:
+    def test_named_ops_recorded(self):
+        with collect() as stats:
+            mathfn.sqrt(FlexFloat(4.0, BINARY16))
+            mathfn.exp(FlexFloatArray([1.0, 2.0], BINARY16))
+        assert stats.ops_named("sqrt") == 1
+        assert stats.ops_named("exp") == 2
+        # Not arithmetic slice ops:
+        assert stats.total_arith_ops() == 0

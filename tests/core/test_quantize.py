@@ -1,0 +1,323 @@
+"""Quantization tests: oracles against numpy float16/float32 and IEEE edge
+cases, plus hypothesis property tests over the full double space."""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BINARY8,
+    BINARY16,
+    BINARY16ALT,
+    BINARY32,
+    BINARY64,
+    FPFormat,
+    decode,
+    encode,
+    is_exact,
+    quantize,
+    quantize_array,
+)
+from repro.core.quantize import decode_array, encode_array
+
+FORMATS = [BINARY8, BINARY16, BINARY16ALT, BINARY32, FPFormat(7, 12)]
+
+finite_doubles = st.floats(
+    allow_nan=False, allow_infinity=False, allow_subnormal=True
+)
+any_doubles = st.floats(
+    allow_nan=True, allow_infinity=True, allow_subnormal=True
+)
+
+
+def bits_of(x: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", x))[0]
+
+
+# ----------------------------------------------------------------------
+# Oracle: (5, 10) must agree bit-for-bit with numpy float16, and (8, 23)
+# with numpy float32, across the whole double space.
+# ----------------------------------------------------------------------
+class TestNumpyOracle:
+    @given(finite_doubles)
+    @settings(max_examples=500)
+    def test_binary16_matches_numpy_float16(self, x):
+        ours = quantize(x, BINARY16)
+        with np.errstate(over="ignore"):
+            theirs = float(np.float64(x).astype(np.float16))
+        assert bits_of(ours) == bits_of(theirs)
+
+    @given(finite_doubles)
+    @settings(max_examples=500)
+    def test_binary32_matches_numpy_float32(self, x):
+        ours = quantize(x, BINARY32)
+        with np.errstate(over="ignore"):
+            theirs = float(np.float64(x).astype(np.float32))
+        assert bits_of(ours) == bits_of(theirs)
+
+    def test_binary16_exhaustive_on_half_grid(self):
+        # Every finite float16 value must quantize to itself.
+        patterns = np.arange(1 << 16, dtype=np.uint16)
+        halves = patterns.view(np.float16).astype(np.float64)
+        finite = np.isfinite(halves)
+        out = quantize_array(halves[finite], BINARY16)
+        np.testing.assert_array_equal(out, halves[finite])
+
+    def test_binary16alt_matches_bfloat16_truncation_cases(self):
+        # bfloat16 == binary16alt layout; spot-check RNE behaviour on
+        # values straddling a 7-bit mantissa ulp.
+        one_plus_half_ulp = 1.0 + 2.0 ** -8  # exactly halfway -> even (1.0)
+        assert quantize(one_plus_half_ulp, BINARY16ALT) == 1.0
+        just_above = 1.0 + 2.0 ** -8 + 2.0 ** -20
+        assert quantize(just_above, BINARY16ALT) == 1.0 + 2.0 ** -7
+
+
+class TestSpecialValues:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_nan_stays_nan(self, fmt):
+        assert math.isnan(quantize(math.nan, fmt))
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_infinities_pass_through(self, fmt):
+        assert quantize(math.inf, fmt) == math.inf
+        assert quantize(-math.inf, fmt) == -math.inf
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_signed_zero_preserved(self, fmt):
+        plus = quantize(0.0, fmt)
+        minus = quantize(-0.0, fmt)
+        assert plus == 0.0 and not math.copysign(1.0, plus) < 0
+        assert minus == 0.0 and math.copysign(1.0, minus) < 0
+
+    def test_overflow_rounds_to_infinity(self):
+        # Above maxfinite + ulp/2 must give inf (IEEE RNE overflow rule).
+        assert quantize(65520.0, BINARY16) == math.inf
+        assert quantize(-65520.0, BINARY16) == -math.inf
+
+    def test_just_below_overflow_threshold_rounds_to_max(self):
+        assert quantize(65519.999, BINARY16) == 65504.0
+
+    def test_exact_overflow_tie_rounds_to_infinity(self):
+        # 65520 is exactly maxfinite + ulp/2; RNE rounds to the "even"
+        # (power-of-two) candidate 65536 which overflows -> inf.
+        assert quantize(65520.0, BINARY16) == math.inf
+
+    def test_binary8_overflow(self):
+        assert quantize(61440.0, BINARY8) == math.inf  # 57344 + 4096 tie->inf
+        assert quantize(57344.0, BINARY8) == 57344.0
+
+    def test_underflow_to_zero(self):
+        # Half the smallest subnormal is a tie -> rounds to even (zero).
+        tiny = BINARY16.min_subnormal / 2
+        assert quantize(tiny, BINARY16) == 0.0
+
+    def test_just_above_half_min_subnormal_rounds_up(self):
+        tiny = BINARY16.min_subnormal / 2 * (1 + 2 ** -40)
+        assert quantize(tiny, BINARY16) == BINARY16.min_subnormal
+
+    def test_subnormal_quantization(self):
+        # 2^-15 is subnormal in binary8 (emin = -14, m = 2).
+        v = 2.0 ** -15
+        assert quantize(v, BINARY8) == v
+        # quantum at 2^(emin - m) = 2^-16
+        assert quantize(2.0 ** -16, BINARY8) == 2.0 ** -16
+        assert quantize(2.0 ** -17, BINARY8) == 0.0  # tie to even
+
+    def test_double_subnormal_input(self):
+        # Inputs below the double normal range must still quantize cleanly.
+        assert quantize(5e-324, BINARY16) == 0.0
+        assert quantize(5e-324, BINARY64) == 5e-324
+
+
+class TestRounding:
+    def test_round_to_nearest_even_down(self):
+        # 1 + 2^-11 is exactly halfway between 1 and 1 + 2^-10 in binary16.
+        assert quantize(1.0 + 2.0 ** -11, BINARY16) == 1.0
+
+    def test_round_to_nearest_even_up(self):
+        # 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9 -> even is upper.
+        assert quantize(1.0 + 3 * 2.0 ** -11, BINARY16) == 1.0 + 2.0 ** -9
+
+    def test_above_half_rounds_up(self):
+        assert (
+            quantize(1.0 + 2.0 ** -11 + 2.0 ** -30, BINARY16)
+            == 1.0 + 2.0 ** -10
+        )
+
+    def test_mantissa_carry_into_exponent(self):
+        # 1.9999... rounds up to 2.0 (carry propagates into the exponent).
+        assert quantize(math.nextafter(2.0, 0.0), BINARY8) == 2.0
+
+    def test_small_integers_exact_in_binary8(self):
+        for k in (1.0, 1.25, 1.5, 1.75, 2.0, 3.0, 3.5, 48.0):
+            assert quantize(k, BINARY8) == k
+
+    def test_binary8_precision_granularity(self):
+        # binary8 has 2 explicit mantissa bits: 4 values per binade.
+        assert quantize(1.1, BINARY8) == 1.0
+        assert quantize(1.2, BINARY8) == 1.25
+        assert quantize(5.1, BINARY8) == 5.0
+        assert quantize(5.6, BINARY8) == 6.0  # ulp in [4, 8) is 1.0
+
+
+class TestProperties:
+    @given(any_doubles, st.sampled_from(FORMATS))
+    @settings(max_examples=400)
+    def test_idempotent(self, x, fmt):
+        once = quantize(x, fmt)
+        twice = quantize(once, fmt)
+        assert bits_of(once) == bits_of(twice) or (
+            math.isnan(once) and math.isnan(twice)
+        )
+
+    @given(finite_doubles, st.sampled_from(FORMATS))
+    @settings(max_examples=400)
+    def test_symmetric_in_sign(self, x, fmt):
+        assert quantize(-x, fmt) == -quantize(x, fmt)
+
+    @given(finite_doubles, finite_doubles, st.sampled_from(FORMATS))
+    @settings(max_examples=400)
+    def test_monotone(self, a, b, fmt):
+        lo, hi = min(a, b), max(a, b)
+        assert quantize(lo, fmt) <= quantize(hi, fmt)
+
+    @given(finite_doubles, st.sampled_from(FORMATS))
+    @settings(max_examples=400)
+    def test_error_bounded_by_half_ulp(self, x, fmt):
+        q = quantize(x, fmt)
+        if math.isinf(q):
+            assert abs(x) > fmt.max_value
+            return
+        if q == 0.0:
+            assert abs(x) <= fmt.min_subnormal / 2
+            return
+        exponent = max(math.frexp(abs(x))[1] - 1, fmt.emin)
+        ulp = math.ldexp(1.0, exponent - fmt.man_bits)
+        assert abs(q - x) <= ulp / 2
+
+    @given(finite_doubles)
+    @settings(max_examples=200)
+    def test_binary64_identity(self, x):
+        assert bits_of(quantize(x, BINARY64)) == bits_of(x)
+
+    @given(finite_doubles, st.sampled_from(FORMATS))
+    @settings(max_examples=200)
+    def test_is_exact_iff_fixed_point(self, x, fmt):
+        assert is_exact(x, fmt) == (quantize(x, fmt) == x)
+
+
+class TestArrayAgreesWithScalar:
+    @given(
+        st.lists(any_doubles, min_size=1, max_size=40),
+        st.sampled_from(FORMATS),
+    )
+    @settings(max_examples=250)
+    def test_array_matches_scalar_bitwise(self, xs, fmt):
+        arr = quantize_array(np.array(xs, dtype=np.float64), fmt)
+        for x, got in zip(xs, arr):
+            want = quantize(x, fmt)
+            if math.isnan(want):
+                assert math.isnan(got)
+            else:
+                assert bits_of(float(got)) == bits_of(want)
+
+    def test_array_preserves_shape(self):
+        a = np.zeros((3, 4, 5))
+        assert quantize_array(a, BINARY8).shape == (3, 4, 5)
+
+    def test_array_binary64_identity_returns_copy(self):
+        a = np.array([1.0, 2.0])
+        out = quantize_array(a, BINARY64)
+        assert out is not a
+        np.testing.assert_array_equal(out, a)
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize(
+        "value,fmt,pattern",
+        [
+            (1.0, BINARY16, 0x3C00),
+            (-2.0, BINARY16, 0xC000),
+            (65504.0, BINARY16, 0x7BFF),
+            (2.0 ** -24, BINARY16, 0x0001),  # smallest subnormal
+            (1.0, BINARY8, 0x3C),
+            (57344.0, BINARY8, 0x7B),
+            (1.0, BINARY32, 0x3F800000),
+            (-0.0, BINARY16, 0x8000),
+            (0.0, BINARY16, 0x0000),
+            (math.inf, BINARY16, 0x7C00),
+            (-math.inf, BINARY8, 0xFC),
+        ],
+    )
+    def test_known_patterns(self, value, fmt, pattern):
+        assert encode(value, fmt) == pattern
+        back = decode(pattern, fmt)
+        if value == 0.0:
+            assert back == 0.0
+            assert math.copysign(1.0, back) == math.copysign(1.0, value)
+        else:
+            assert back == value
+
+    def test_nan_encoding_is_quiet(self):
+        pattern = encode(math.nan, BINARY16)
+        assert pattern == 0x7E00
+        assert math.isnan(decode(pattern, BINARY16))
+
+    def test_decode_rejects_oversized_pattern(self):
+        with pytest.raises(ValueError):
+            decode(1 << 16, BINARY16)
+
+    @given(any_doubles, st.sampled_from(FORMATS))
+    @settings(max_examples=300)
+    def test_roundtrip_through_bits(self, x, fmt):
+        q = quantize(x, fmt)
+        back = decode(encode(x, fmt), fmt)
+        if math.isnan(q):
+            assert math.isnan(back)
+        else:
+            assert bits_of(back) == bits_of(q)
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    @settings(max_examples=300)
+    def test_binary16_decode_matches_numpy(self, pattern):
+        ours = decode(pattern, BINARY16)
+        theirs = float(
+            np.array([pattern], dtype=np.uint16).view(np.float16)[0]
+        )
+        if math.isnan(theirs):
+            assert math.isnan(ours)
+        else:
+            assert bits_of(ours) == bits_of(theirs)
+
+    @given(
+        st.lists(any_doubles, min_size=1, max_size=30),
+        st.sampled_from(FORMATS),
+    )
+    @settings(max_examples=150)
+    def test_array_encode_matches_scalar(self, xs, fmt):
+        arr = np.array(xs, dtype=np.float64)
+        enc = encode_array(arr, fmt)
+        for x, got in zip(xs, enc):
+            assert int(got) == encode(x, fmt)
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << 16) - 1),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=150)
+    def test_array_decode_matches_scalar(self, patterns):
+        arr = np.array(patterns, dtype=np.uint64)
+        dec = decode_array(arr, BINARY16)
+        for p, got in zip(patterns, dec):
+            want = decode(p, BINARY16)
+            if math.isnan(want):
+                assert math.isnan(got)
+            else:
+                assert bits_of(float(got)) == bits_of(want)

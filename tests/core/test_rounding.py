@@ -1,0 +1,106 @@
+"""Tests for the directed rounding modes (extension)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BINARY8, BINARY16, BINARY32, quantize, quantize_mode
+from repro.core.rounding import ROUNDING_MODES
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+
+
+class TestBasics:
+    def test_nearest_even_is_default_quantizer(self):
+        for x in (1.1, -2.7, 3.14159, 1e-9):
+            assert quantize_mode(x, BINARY16) == quantize(x, BINARY16)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown rounding mode"):
+            quantize_mode(1.0, BINARY16, "round_half_up")
+
+    def test_specials_pass_through(self):
+        for mode in ROUNDING_MODES:
+            assert math.isnan(quantize_mode(math.nan, BINARY8, mode))
+            assert quantize_mode(math.inf, BINARY8, mode) == math.inf
+            assert quantize_mode(0.0, BINARY8, mode) == 0.0
+
+    def test_exact_values_unchanged_by_any_mode(self):
+        for mode in ROUNDING_MODES:
+            assert quantize_mode(1.5, BINARY8, mode) == 1.5
+            assert quantize_mode(-0.25, BINARY8, mode) == -0.25
+
+
+class TestDirections:
+    def test_toward_zero_truncates(self):
+        # 1.1 sits between 1.0 and 1.25 in binary8.
+        assert quantize_mode(1.1, BINARY8, "toward_zero") == 1.0
+        assert quantize_mode(-1.1, BINARY8, "toward_zero") == -1.0
+
+    def test_toward_positive(self):
+        assert quantize_mode(1.1, BINARY8, "toward_positive") == 1.25
+        assert quantize_mode(-1.1, BINARY8, "toward_positive") == -1.0
+
+    def test_toward_negative(self):
+        assert quantize_mode(1.1, BINARY8, "toward_negative") == 1.0
+        assert quantize_mode(-1.1, BINARY8, "toward_negative") == -1.25
+
+    def test_rtz_overflow_clamps_to_max(self):
+        big = 1.0e9
+        assert quantize_mode(big, BINARY16, "toward_zero") == 65504.0
+        assert quantize_mode(-big, BINARY16, "toward_zero") == -65504.0
+
+    def test_directed_overflow(self):
+        big = 1.0e9
+        assert quantize_mode(big, BINARY16, "toward_positive") == math.inf
+        assert quantize_mode(big, BINARY16, "toward_negative") == 65504.0
+        assert quantize_mode(-big, BINARY16, "toward_negative") == -math.inf
+        assert quantize_mode(-big, BINARY16, "toward_positive") == -65504.0
+
+    def test_tiny_values(self):
+        tiny = BINARY16.min_subnormal / 10
+        assert quantize_mode(tiny, BINARY16, "toward_zero") == 0.0
+        assert (
+            quantize_mode(tiny, BINARY16, "toward_positive")
+            == BINARY16.min_subnormal
+        )
+        assert quantize_mode(-tiny, BINARY16, "toward_positive") == 0.0
+
+
+class TestProperties:
+    @given(finite, st.sampled_from(ROUNDING_MODES))
+    @settings(max_examples=300)
+    def test_result_is_representable(self, x, mode):
+        out = quantize_mode(x, BINARY16, mode)
+        if math.isfinite(out):
+            assert quantize(out, BINARY16) == out
+
+    @given(finite)
+    @settings(max_examples=300)
+    def test_bracketing(self, x):
+        # RTN <= RNE <= RTP for any input.
+        down = quantize_mode(x, BINARY8, "toward_negative")
+        near = quantize_mode(x, BINARY8, "nearest_even")
+        up = quantize_mode(x, BINARY8, "toward_positive")
+        if all(math.isfinite(v) for v in (down, near, up)):
+            assert down <= near <= up
+
+    @given(finite)
+    @settings(max_examples=300)
+    def test_truncation_never_grows_magnitude(self, x):
+        out = quantize_mode(x, BINARY8, "toward_zero")
+        assert abs(out) <= abs(x)
+
+    @given(finite)
+    @settings(max_examples=300)
+    def test_rtz_matches_sign_split_of_directed_modes(self, x):
+        rtz = quantize_mode(x, BINARY32, "toward_zero")
+        directed = quantize_mode(
+            x,
+            BINARY32,
+            "toward_negative" if x > 0 else "toward_positive",
+        )
+        assert rtz == directed or (math.isnan(rtz) and math.isnan(directed))

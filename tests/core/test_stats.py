@@ -1,0 +1,113 @@
+"""Tests for the statistics collector."""
+
+from repro.core import (
+    BINARY8,
+    BINARY16,
+    BINARY32,
+    Stats,
+    collect,
+    in_vectorizable_region,
+    record_cast,
+    record_op,
+    vectorizable,
+)
+from repro.core.stats import CastKey, OpKey
+
+
+class TestRecording:
+    def test_record_outside_collector_is_noop(self):
+        record_op(BINARY8, "add", 5)  # must not raise, must not leak
+
+    def test_basic_op_recording(self):
+        with collect() as stats:
+            record_op(BINARY8, "add", 3)
+            record_op(BINARY8, "add", 2)
+        assert stats.ops[OpKey("binary8", "add", False)] == 5
+
+    def test_vector_flag_tracks_region(self):
+        with collect() as stats:
+            record_op(BINARY16, "mul", 1)
+            with vectorizable():
+                assert in_vectorizable_region()
+                record_op(BINARY16, "mul", 4)
+            assert not in_vectorizable_region()
+        assert stats.ops[OpKey("binary16", "mul", False)] == 1
+        assert stats.ops[OpKey("binary16", "mul", True)] == 4
+
+    def test_nested_vectorizable_regions(self):
+        with collect() as stats:
+            with vectorizable():
+                with vectorizable():
+                    record_op(BINARY8, "add", 1)
+                record_op(BINARY8, "add", 1)
+        assert stats.ops[OpKey("binary8", "add", True)] == 2
+
+    def test_cast_recording(self):
+        with collect() as stats:
+            record_cast(BINARY32, BINARY8, 7)
+        assert stats.casts[CastKey("binary32", "binary8", False)] == 7
+
+
+class TestQueries:
+    def _sample(self) -> Stats:
+        stats = Stats()
+        with collect(stats):
+            record_op(BINARY8, "add", 10)
+            record_op(BINARY8, "mul", 5)
+            record_op(BINARY32, "add", 20)
+            record_op(BINARY32, "div", 2)
+            record_op(BINARY32, "sqrt", 1)
+            with vectorizable():
+                record_op(BINARY8, "mul", 8)
+            record_cast(BINARY32, BINARY8, 4)
+        return stats
+
+    def test_total_ops_counts_everything(self):
+        assert self._sample().total_ops() == 46
+
+    def test_total_arith_ops_excludes_div_sqrt(self):
+        assert self._sample().total_arith_ops() == 43
+
+    def test_ops_by_format_aggregate(self):
+        assert self._sample().ops_by_format() == {
+            "binary8": 23,
+            "binary32": 20,
+        }
+
+    def test_ops_by_format_scalar_only(self):
+        assert self._sample().ops_by_format(vector=False) == {
+            "binary8": 15,
+            "binary32": 20,
+        }
+
+    def test_ops_by_format_vector_only(self):
+        assert self._sample().ops_by_format(vector=True) == {"binary8": 8}
+
+    def test_vector_fraction(self):
+        assert abs(self._sample().vector_fraction() - 8 / 43) < 1e-12
+
+    def test_vector_fraction_empty(self):
+        assert Stats().vector_fraction() == 0.0
+
+    def test_total_casts(self):
+        assert self._sample().total_casts() == 4
+
+    def test_ops_named(self):
+        stats = self._sample()
+        assert stats.ops_named("add") == 30
+        assert stats.ops_named("sqrt") == 1
+
+    def test_merged_with(self):
+        a = self._sample()
+        b = self._sample()
+        merged = a.merged_with(b)
+        assert merged.total_ops() == 92
+        assert merged.total_casts() == 8
+        # Originals untouched.
+        assert a.total_ops() == 46
+
+    def test_clear(self):
+        stats = self._sample()
+        stats.clear()
+        assert stats.total_ops() == 0
+        assert stats.total_casts() == 0

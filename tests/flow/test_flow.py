@@ -1,0 +1,87 @@
+"""Tests for the five-step transprecision programming flow."""
+
+import json
+
+import pytest
+
+from repro.apps import make_app
+from repro.flow import TransprecisionFlow
+from repro.tuning import V2, precision_to_sqnr_db, sqnr_db
+
+
+@pytest.fixture(scope="module")
+def flow_result(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("tuning-cache")
+    app = make_app("conv", "small")
+    flow = TransprecisionFlow(app, V2, 1e-1, cache_dir=cache)
+    return flow, flow.run(), cache
+
+
+class TestTuningStep:
+    def test_tuning_meets_target_on_numeric_form(self, flow_result):
+        flow, result, _ = flow_result
+        target = precision_to_sqnr_db(1e-1)
+        assert all(v >= target for v in result.tuning.achieved_db.values())
+
+    def test_storage_binding_uses_type_system_formats(self, flow_result):
+        _, result, _ = flow_result
+        allowed = {fmt.name for fmt in V2.formats}
+        assert {fmt.name for fmt in result.binding.values()} <= allowed
+
+    def test_cache_file_created_and_reused(self, flow_result):
+        flow, result, cache = flow_result
+        files = list(cache.glob("*.json"))
+        assert len(files) == 1
+        payload = json.loads(files[0].read_text())
+        assert payload["program"] == "conv"
+        assert payload["precision"] == result.tuning.precision
+
+        # A second flow must load the cache, not re-tune.
+        app = make_app("conv", "small")
+        flow2 = TransprecisionFlow(app, V2, 1e-1, cache_dir=cache)
+        reloaded = flow2.tune()
+        assert reloaded.precision == result.tuning.precision
+        assert reloaded.achieved_db == result.tuning.achieved_db
+
+    def test_corrupt_binding_key_is_distinct_per_precision(self, tmp_path):
+        app = make_app("conv", "small")
+        a = TransprecisionFlow(app, V2, 1e-1, cache_dir=tmp_path)
+        b = TransprecisionFlow(app, V2, 1e-2, cache_dir=tmp_path)
+        assert a._cache_path() != b._cache_path()
+
+
+class TestReports:
+    def test_reports_present(self, flow_result):
+        _, result, _ = flow_result
+        assert result.baseline_report.cycles > 0
+        assert result.tuned_report.cycles > 0
+        assert result.baseline_report.program == "conv"
+
+    def test_ratios_consistent(self, flow_result):
+        _, result, _ = flow_result
+        assert result.cycles_ratio == pytest.approx(
+            result.tuned_report.cycles / result.baseline_report.cycles
+        )
+        assert result.memory_ratio <= 1.0
+        assert result.energy_ratio <= 1.0
+
+    def test_stats_collected(self, flow_result):
+        _, result, _ = flow_result
+        assert result.stats.total_arith_ops() > 0
+
+    def test_kernel_output_meets_target(self, flow_result):
+        flow, result, _ = flow_result
+        app = make_app("conv", "small")
+        program = app.build_program(result.binding, 0, vectorize=True)
+        ref = app.reference(0)
+        # The platform's rounding order differs slightly from emulation;
+        # allow a small margin below the tuner-validated target.
+        assert sqnr_db(ref, program.output("out")) >= (
+            precision_to_sqnr_db(1e-1) - 3.0
+        )
+
+    def test_no_cache_dir_still_works(self):
+        app = make_app("dwt", "small")
+        flow = TransprecisionFlow(app, V2, 1e-1, cache_dir=None)
+        result = flow.run()
+        assert result.tuned_report.cycles > 0

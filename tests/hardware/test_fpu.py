@@ -1,0 +1,260 @@
+"""Tests for the transprecision FPU model (paper SIV, Fig. 3)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BINARY8, BINARY16, BINARY16ALT, BINARY32, quantize
+from repro.hardware.fpu import (
+    SLICE8,
+    SLICE16,
+    SLICE32,
+    TransprecisionFPU,
+    arithmetic_latency,
+    cast_energy_pj,
+    cast_latency,
+    op_energy_pj,
+    sequential_latency,
+    simd_lanes,
+    slice_for,
+    supports,
+)
+
+lane_floats = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+
+
+class TestLatencies:
+    def test_pipelined_formats_have_latency_2(self):
+        # Paper: binary32 and both 16-bit formats are pipelined with one
+        # stage: latency two cycles.
+        assert arithmetic_latency(BINARY32) == 2
+        assert arithmetic_latency(BINARY16) == 2
+        assert arithmetic_latency(BINARY16ALT) == 2
+
+    def test_binary8_single_cycle(self):
+        assert arithmetic_latency(BINARY8) == 1
+
+    def test_conversions_single_cycle(self):
+        assert cast_latency() == 1
+
+    def test_sequential_ops_multicycle(self):
+        assert sequential_latency("div") > 2
+        assert sequential_latency("sqrt") > 2
+
+    def test_unknown_sequential_op(self):
+        with pytest.raises(ValueError):
+            sequential_latency("cbrt")
+
+    def test_unsupported_format_rejected(self):
+        from repro.core import FPFormat
+
+        assert not supports(FPFormat(7, 12))
+        with pytest.raises(ValueError):
+            arithmetic_latency(FPFormat(7, 12))
+
+
+class TestSimdLanes:
+    def test_lane_counts_match_slice_replication(self):
+        assert simd_lanes(BINARY32) == 1
+        assert simd_lanes(BINARY16) == 2
+        assert simd_lanes(BINARY16ALT) == 2
+        assert simd_lanes(BINARY8) == 4
+
+
+class TestSlices:
+    def test_slice_assignment(self):
+        assert slice_for(BINARY32) is SLICE32
+        assert slice_for(BINARY16) is SLICE16
+        assert slice_for(BINARY16ALT) is SLICE16
+        assert slice_for(BINARY8) is SLICE8
+
+    def test_replication(self):
+        assert SLICE32.replicas == 1
+        assert SLICE16.replicas == 2
+        assert SLICE8.replicas == 4
+
+    def test_widths(self):
+        assert (SLICE32.width, SLICE16.width, SLICE8.width) == (32, 16, 8)
+
+
+class TestEnergyTable:
+    def test_narrower_is_cheaper(self):
+        for op in ("add", "mul"):
+            assert (
+                op_energy_pj(BINARY8, op)
+                < op_energy_pj(BINARY16, op)
+                < op_energy_pj(BINARY32, op)
+            )
+
+    def test_binary16alt_mul_cheaper_than_binary16(self):
+        # Smaller significand multiplier (8x8 vs 11x11).
+        assert op_energy_pj(BINARY16ALT, "mul") < op_energy_pj(BINARY16, "mul")
+
+    def test_vector_pays_per_lane(self):
+        scalar = op_energy_pj(BINARY8, "add", lanes=1)
+        vector = op_energy_pj(BINARY8, "add", lanes=4)
+        assert vector == pytest.approx(4 * scalar)
+
+    def test_fp32_madd_near_paper_scale(self):
+        # Paper quotes ~19.4 pJ/FLOP for a comparable unit.
+        madd = op_energy_pj(BINARY32, "mul") + op_energy_pj(BINARY32, "add")
+        assert 12.0 < madd < 30.0
+
+    def test_cast_cost_by_width(self):
+        assert cast_energy_pj(BINARY32, BINARY8) > cast_energy_pj(
+            BINARY16, BINARY8
+        )
+        assert cast_energy_pj(BINARY16, BINARY8) > cast_energy_pj(
+            BINARY8, BINARY8
+        )
+
+    def test_div_only_binary32(self):
+        with pytest.raises(ValueError):
+            op_energy_pj(BINARY16, "div")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            op_energy_pj(BINARY32, "hypot")
+
+    def test_fma_cheaper_than_mul_plus_add(self):
+        # Extension op: fused multiply-add beats the separate pair.
+        for fmt in (BINARY8, BINARY16, BINARY16ALT, BINARY32):
+            fused = op_energy_pj(fmt, "fma")
+            split = op_energy_pj(fmt, "mul") + op_energy_pj(fmt, "add")
+            assert fused < split
+
+
+class TestUnitFunctional:
+    def test_scalar_add(self):
+        fpu = TransprecisionFPU()
+        res = fpu.arith("add", BINARY16, 1.5, 2.25)
+        assert res.value == 3.75
+        assert res.latency == 2
+
+    def test_result_is_sanitized(self):
+        fpu = TransprecisionFPU()
+        res = fpu.arith("add", BINARY8, 1.0, 0.0625)
+        assert res.value == 1.0  # 1.0625 is below binary8's resolution
+
+    def test_simd_4x8(self):
+        fpu = TransprecisionFPU()
+        res = fpu.arith(
+            "mul", BINARY8, (1.0, 2.0, 3.0, 4.0), (2.0, 2.0, 2.0, 2.0)
+        )
+        assert res.values == (2.0, 4.0, 6.0, 8.0)
+        assert res.latency == 1
+
+    def test_simd_2x16(self):
+        fpu = TransprecisionFPU()
+        res = fpu.arith("add", BINARY16ALT, (1.0, 2.0), (0.5, 0.5))
+        assert res.values == (1.5, 2.5)
+        assert res.latency == 2
+
+    def test_lane_overflow_rejected(self):
+        fpu = TransprecisionFPU()
+        with pytest.raises(ValueError, match="at most"):
+            fpu.arith("add", BINARY16, (1.0,) * 3, (1.0,) * 3)
+
+    def test_lane_mismatch_rejected(self):
+        fpu = TransprecisionFPU()
+        with pytest.raises(ValueError, match="lane mismatch"):
+            fpu.arith("add", BINARY8, (1.0, 2.0), (1.0,))
+
+    def test_scalar_result_accessor_rejects_vectors(self):
+        fpu = TransprecisionFPU()
+        res = fpu.arith("add", BINARY8, (1.0, 2.0), (1.0, 1.0))
+        with pytest.raises(ValueError):
+            res.value
+
+    def test_div_scalar_binary32_only(self):
+        fpu = TransprecisionFPU()
+        res = fpu.arith("div", BINARY32, 1.0, 3.0)
+        assert res.value == quantize(1.0 / 3.0, BINARY32)
+        with pytest.raises(ValueError):
+            fpu.arith("div", BINARY16, 1.0, 3.0)
+        with pytest.raises(ValueError):
+            fpu.arith("div", BINARY32, (1.0, 2.0), (1.0, 2.0))
+
+    def test_unknown_op(self):
+        fpu = TransprecisionFPU()
+        with pytest.raises(ValueError, match="unknown"):
+            fpu.arith("xor", BINARY32, 1.0, 1.0)
+
+    @given(lane_floats, lane_floats)
+    @settings(max_examples=200)
+    def test_matches_flexfloat_emulation(self, a, b):
+        # Hardware results must equal library emulation bit-for-bit.
+        from repro.core import FlexFloat
+
+        fpu = TransprecisionFPU()
+        hw = fpu.arith("mul", BINARY16ALT, a, b).value
+        sw = float(
+            FlexFloat(a, BINARY16ALT) * FlexFloat(b, BINARY16ALT)
+        )
+        assert hw == sw or (math.isnan(hw) and math.isnan(sw))
+
+
+class TestUnitConversions:
+    def test_ff_conversion(self):
+        fpu = TransprecisionFPU()
+        res = fpu.convert(1.2001953125, BINARY16, BINARY8)
+        assert res.value == 1.25
+        assert res.latency == 1
+
+    def test_b8_to_b16_lossless(self):
+        fpu = TransprecisionFPU()
+        assert fpu.convert(57344.0, BINARY8, BINARY16).value == 57344.0
+
+    def test_b32_to_b16_saturates(self):
+        fpu = TransprecisionFPU()
+        assert math.isinf(fpu.convert(1e6, BINARY32, BINARY16).value)
+
+    def test_fp_to_int(self):
+        fpu = TransprecisionFPU()
+        assert fpu.convert(3.7, BINARY32, None).value == 4.0
+
+    def test_int_to_fp(self):
+        fpu = TransprecisionFPU()
+        assert fpu.convert(3.0, None, BINARY8).value == 3.0
+
+    def test_both_none_rejected(self):
+        fpu = TransprecisionFPU()
+        with pytest.raises(ValueError):
+            fpu.convert(1.0, None, None)
+
+    def test_vector_conversion(self):
+        fpu = TransprecisionFPU()
+        res = fpu.convert((1.1, 2.2), BINARY16, BINARY8)
+        assert res.values == (1.0, 2.0)
+
+
+class TestOperandIsolation:
+    def test_only_matching_slice_is_active(self):
+        fpu = TransprecisionFPU()
+        fpu.arith("add", BINARY8, 1.0, 1.0)
+        assert fpu.slice_activity == {"slice8": 1}
+        fpu.arith("mul", BINARY32, 1.0, 1.0)
+        assert fpu.slice_activity == {"slice8": 1, "slice32": 1}
+
+    def test_vector_activates_lane_count(self):
+        fpu = TransprecisionFPU()
+        fpu.arith("add", BINARY16, (1.0, 2.0), (1.0, 2.0))
+        assert fpu.slice_activity == {"slice16": 2}
+
+    def test_energy_accumulates(self):
+        fpu = TransprecisionFPU()
+        fpu.arith("add", BINARY8, 1.0, 1.0)
+        fpu.arith("add", BINARY8, 1.0, 1.0)
+        assert fpu.energy_pj == pytest.approx(
+            2 * op_energy_pj(BINARY8, "add")
+        )
+
+    def test_reset(self):
+        fpu = TransprecisionFPU()
+        fpu.arith("add", BINARY8, 1.0, 1.0)
+        fpu.reset()
+        assert fpu.energy_pj == 0.0
+        assert not fpu.slice_activity

@@ -1,0 +1,206 @@
+"""Tests for the kernel builder: functional semantics + emitted streams."""
+
+import numpy as np
+import pytest
+
+from repro.core import BINARY8, BINARY16, BINARY32, quantize
+from repro.hardware import KernelBuilder, Kind, VirtualPlatform
+
+
+class TestDataAllocation:
+    def test_alloc_sanitizes_payload(self):
+        b = KernelBuilder("t")
+        arr = b.alloc("x", [1.1, 2.2], BINARY8)
+        assert arr.data == [1.0, 2.0]
+
+    def test_alloc_int_array(self):
+        b = KernelBuilder("t")
+        arr = b.alloc("labels", [1, 2, 3], None)
+        assert arr.element_bytes == 4
+
+    def test_duplicate_name_rejected(self):
+        b = KernelBuilder("t")
+        b.alloc("x", [1.0], BINARY8)
+        with pytest.raises(ValueError, match="already"):
+            b.alloc("x", [1.0], BINARY8)
+
+    def test_zeros(self):
+        b = KernelBuilder("t")
+        arr = b.zeros("out", 4, BINARY16)
+        assert arr.data == [0.0] * 4
+
+    def test_element_bytes(self):
+        b = KernelBuilder("t")
+        assert b.alloc("a", [0.0], BINARY8).element_bytes == 1
+        assert b.alloc("b", [0.0], BINARY16).element_bytes == 2
+        assert b.alloc("c", [0.0], BINARY32).element_bytes == 4
+
+
+class TestScalarKernel:
+    def test_axpy_computes_and_counts(self):
+        b = KernelBuilder("axpy")
+        x = b.alloc("x", [1.0, 2.0, 3.0], BINARY32)
+        y = b.alloc("y", [10.0, 20.0, 30.0], BINARY32)
+        out = b.zeros("out", 3, BINARY32)
+        a = b.fconst(2.0, BINARY32)
+        for i in b.loop(3):
+            xi = b.load(x, i)
+            yi = b.load(y, i)
+            prod = b.fp("mul", BINARY32, a, xi)
+            s = b.fp("add", BINARY32, prod, yi)
+            b.store(out, i, s)
+        program = b.program()
+        assert program.output("out").tolist() == [12.0, 24.0, 36.0]
+
+        report = VirtualPlatform().run(program)
+        assert report.fp_instrs[("binary32", "mul", 1)] == 3
+        assert report.fp_instrs[("binary32", "add", 1)] == 3
+        assert report.memory.loads == 6
+        assert report.memory.stores == 3
+
+    def test_values_are_quantized_like_emulation(self):
+        b = KernelBuilder("q")
+        x = b.fconst(1.2, BINARY8)
+        y = b.fconst(1.3, BINARY8)
+        z = b.fp("add", BINARY8, x, y)
+        assert z.value == quantize(
+            quantize(1.2, BINARY8) + quantize(1.3, BINARY8), BINARY8
+        )
+
+    def test_store_quantizes_to_array_format(self):
+        b = KernelBuilder("q")
+        out = b.zeros("out", 1, BINARY8)
+        v = b.fconst(1.9, BINARY32)  # exact in binary32
+        # Cast then store: the store target enforces its own format.
+        c = b.cast(v, BINARY32, BINARY8)
+        b.store(out, 0, c)
+        assert out.data[0] == 2.0
+
+    def test_fdiv_fsqrt(self):
+        b = KernelBuilder("seq")
+        x = b.fconst(2.0, BINARY32)
+        y = b.fconst(3.0, BINARY32)
+        d = b.fdiv(BINARY32, x, y)
+        s = b.fsqrt(BINARY32, x)
+        assert d.value == quantize(2.0 / 3.0, BINARY32)
+        assert s.value == quantize(2.0 ** 0.5, BINARY32)
+
+    def test_fcmp(self):
+        b = KernelBuilder("cmp")
+        x = b.fconst(1.0, BINARY32)
+        y = b.fconst(2.0, BINARY32)
+        c = b.fp("cmp", BINARY32, x, y)
+        assert c.value == 1.0
+
+
+class TestVectorKernel:
+    def test_vector_add_4x8(self):
+        b = KernelBuilder("v")
+        x = b.alloc("x", [1.0, 2.0, 3.0, 4.0], BINARY8)
+        out = b.zeros("out", 4, BINARY8)
+        vx = b.load(x, 0, lanes=4)
+        v2 = b.vconst([2.0] * 4, BINARY8)
+        vs = b.fp("add", BINARY8, vx, v2, lanes=4)
+        b.store(out, 0, vs, lanes=4)
+        program = b.program()
+        assert program.output("out").tolist() == [3.0, 4.0, 5.0, 6.0]
+
+        report = VirtualPlatform().run(program)
+        # One vector load + one vector store = 2 accesses, both vector.
+        assert report.memory.total == 2
+        assert report.memory.vector_accesses == 2
+        # 4 elementwise operations from a single instruction.
+        assert report.total_fp_operations() == 4
+
+    def test_vector_width_limited_by_datapath(self):
+        b = KernelBuilder("v")
+        x = b.alloc("x", [1.0] * 4, BINARY16)
+        with pytest.raises(ValueError, match="32-bit datapath"):
+            b.load(x, 0, lanes=4)
+
+    def test_vector_int_array_rejected(self):
+        b = KernelBuilder("v")
+        arr = b.alloc("labels", [1, 2], None)
+        with pytest.raises(ValueError, match="scalar"):
+            b.load(arr, 0, lanes=2)
+
+    def test_scalar_op_on_vector_register_rejected(self):
+        b = KernelBuilder("v")
+        x = b.alloc("x", [1.0, 2.0], BINARY16)
+        vx = b.load(x, 0, lanes=2)
+        with pytest.raises(ValueError, match="scalar operation"):
+            b.fp("add", BINARY16, vx, vx, lanes=1)
+
+    def test_vector_op_on_scalar_register_rejected(self):
+        b = KernelBuilder("v")
+        s = b.fconst(1.0, BINARY16)
+        with pytest.raises(ValueError, match="vector operation"):
+            b.fp("add", BINARY16, s, s, lanes=2)
+
+    def test_out_of_bounds_load(self):
+        b = KernelBuilder("v")
+        x = b.alloc("x", [1.0, 2.0], BINARY8)
+        with pytest.raises(IndexError):
+            b.load(x, 1, lanes=4)
+
+    def test_vector_cast(self):
+        b = KernelBuilder("v")
+        x = b.alloc("x", [1.5, 2.5], BINARY16)
+        vx = b.load(x, 0, lanes=2)
+        vc = b.cast(vx, BINARY16, BINARY8, lanes=2)
+        assert vc.value == (1.5, 2.5)
+
+
+class TestLoops:
+    def test_hw_loop_emits_setup_only(self):
+        b = KernelBuilder("hw")
+        for _ in b.loop(5):
+            b.li(0)
+        program = b.program()
+        kinds = [i.kind for i in program.instrs]
+        assert kinds.count(Kind.LOOP_SETUP) == 2
+        assert kinds.count(Kind.BRANCH) == 0
+        assert kinds.count(Kind.LI) == 5
+
+    def test_soft_loop_emits_branches(self):
+        b = KernelBuilder("soft")
+        for _ in b.loop(3, soft=True):
+            b.li(0)
+        program = b.program()
+        kinds = [i.kind for i in program.instrs]
+        assert kinds.count(Kind.BRANCH) == 3
+        # Last branch is not taken (fall-through out of the loop).
+        branches = [i for i in program.instrs if i.kind == Kind.BRANCH]
+        assert [br.taken for br in branches] == [True, True, False]
+
+    def test_deeply_nested_loops_fall_back_to_soft(self):
+        b = KernelBuilder("nest")
+        for _ in b.loop(2):
+            for _ in b.loop(2):
+                for _ in b.loop(2):  # third level: no HW loop left
+                    b.li(0)
+        program = b.program()
+        kinds = [i.kind for i in program.instrs]
+        assert kinds.count(Kind.BRANCH) > 0
+
+    def test_zero_iteration_loop_emits_nothing(self):
+        b = KernelBuilder("empty")
+        for _ in b.loop(0):
+            b.li(0)
+        assert b.instruction_count == 0
+
+
+class TestProgramOutput:
+    def test_output_returns_numpy(self):
+        b = KernelBuilder("o")
+        b.alloc("x", [1.0, 2.0], BINARY16)
+        program = b.program()
+        out = program.output("x")
+        assert isinstance(out, np.ndarray)
+        assert out.tolist() == [1.0, 2.0]
+
+    def test_len(self):
+        b = KernelBuilder("o")
+        b.li(1)
+        b.li(2)
+        assert len(b.program()) == 2

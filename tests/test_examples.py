@@ -1,0 +1,45 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "binary16" in out
+        assert "mixing formats raises" in out
+
+    def test_format_exploration(self):
+        out = run_example("format_exploration.py")
+        assert "exponent bits" in out
+        assert "vfmul.b" in out
+
+    def test_tune_knn(self):
+        out = run_example("tune_knn.py", "1e-1")
+        assert "Step 5" in out
+        assert "memory accesses" in out
+
+    def test_vectorized_energy(self):
+        out = run_example("vectorized_energy.py")
+        assert "binary8 + 4-lane SIMD" in out
+
+    def test_custom_app(self):
+        out = run_example("custom_app.py")
+        assert "precision 0.001" in out

@@ -1,0 +1,89 @@
+"""Tests for the precision-interval to format mapping (type systems)."""
+
+import pytest
+
+from repro.core import BINARY8, BINARY16, BINARY16ALT, BINARY32, FPFormat
+from repro.tuning import MAX_PRECISION_BITS, V1, V2, TypeSystem
+
+
+class TestV1:
+    def test_boundaries(self):
+        assert V1.boundaries() == (3, 11, 24)
+
+    def test_formats(self):
+        assert V1.formats == (BINARY8, BINARY16, BINARY32)
+
+    @pytest.mark.parametrize(
+        "p,fmt",
+        [
+            (1, BINARY8),
+            (3, BINARY8),
+            (4, BINARY16),
+            (11, BINARY16),
+            (12, BINARY32),
+            (24, BINARY32),
+        ],
+    )
+    def test_storage_format(self, p, fmt):
+        assert V1.storage_format(p) == fmt
+
+
+class TestV2:
+    def test_boundaries(self):
+        assert V2.boundaries() == (3, 8, 11, 24)
+
+    def test_formats(self):
+        assert V2.formats == (BINARY8, BINARY16ALT, BINARY16, BINARY32)
+
+    @pytest.mark.parametrize(
+        "p,fmt",
+        [
+            (1, BINARY8),
+            (3, BINARY8),
+            (4, BINARY16ALT),
+            (8, BINARY16ALT),
+            (9, BINARY16),
+            (11, BINARY16),
+            (12, BINARY32),
+            (24, BINARY32),
+        ],
+    )
+    def test_storage_format(self, p, fmt):
+        assert V2.storage_format(p) == fmt
+
+    def test_search_format_uses_interval_exponent(self):
+        # Paper mapping: (0,3] -> 5 exponent bits.
+        assert V2.search_format(3) == FPFormat(5, 2)
+        # (3,8] -> 8 exponent bits (binary16alt's range).
+        assert V2.search_format(4) == FPFormat(8, 3)
+        assert V2.search_format(8) == FPFormat(8, 7)
+        # (8,11] -> 5 exponent bits (binary16's range).
+        assert V2.search_format(9) == FPFormat(5, 8)
+        # above 11 -> binary32's range.
+        assert V2.search_format(12) == FPFormat(8, 11)
+
+    def test_search_format_precision_is_exactly_p(self):
+        for p in range(1, MAX_PRECISION_BITS + 1):
+            assert V2.search_format(p).precision == p
+
+
+class TestValidation:
+    def test_rejects_uncovering_system(self):
+        with pytest.raises(ValueError, match="does not cover"):
+            TypeSystem("bad", ((3, BINARY8),))
+
+    def test_rejects_non_increasing_intervals(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            TypeSystem("bad", ((11, BINARY16), (11, BINARY32), (24, BINARY32)))
+
+    def test_rejects_format_too_small_for_interval(self):
+        with pytest.raises(ValueError, match="cannot hold"):
+            TypeSystem("bad", ((5, BINARY8), (24, BINARY32)))
+
+    def test_rejects_zero_precision(self):
+        with pytest.raises(ValueError):
+            V2.storage_format(0)
+
+    def test_rejects_precision_above_max(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            V2.storage_format(25)

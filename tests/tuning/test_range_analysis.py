@@ -1,0 +1,100 @@
+"""Tests for the dynamic-range analysis helper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BINARY8, BINARY16, BINARY16ALT, BINARY32, quantize
+from repro.tuning.range_analysis import (
+    analyze_range,
+    exponent_bits_needed,
+    fitting_formats,
+)
+
+
+class TestAnalyzeRange:
+    def test_unit_interval(self):
+        report = analyze_range(np.array([0.25, 0.5, 1.0]))
+        assert report.min_exponent == -2
+        assert report.max_exponent == 0
+        assert report.exponent_bits <= 3
+
+    def test_wide_range_needs_wide_exponent(self):
+        report = analyze_range(np.array([1e-30, 1e30]))
+        assert report.exponent_bits == 8
+
+    def test_flags(self):
+        report = analyze_range(np.array([0.0, -1.0, 2.0]))
+        assert report.has_zero
+        assert report.has_negative
+
+    def test_empty_and_zero_only(self):
+        assert analyze_range(np.array([])).exponent_bits == 1
+        report = analyze_range(np.array([0.0, 0.0]))
+        assert report.has_zero
+        assert report.exponent_bits == 1
+
+    def test_non_finite_ignored(self):
+        report = analyze_range(np.array([1.0, np.inf, np.nan]))
+        assert report.max_exponent == 0
+
+    def test_dynamic_range_db(self):
+        report = analyze_range(np.array([1.0, 1024.0]))
+        assert report.dynamic_range_db == pytest.approx(60.2, abs=0.2)
+
+    @given(
+        st.lists(
+            st.floats(
+                min_value=2.0 ** -14,
+                max_value=2.0 ** 15,
+                allow_nan=False,
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=150)
+    def test_binary16_range_values_need_at_most_5_bits(self, xs):
+        assert exponent_bits_needed(np.array(xs)) <= 5
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e30, max_value=1e30, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=150)
+    def test_suggested_width_never_saturates(self, xs):
+        from repro.core import FPFormat
+
+        data = np.array(xs)
+        bits = exponent_bits_needed(data)
+        fmt = FPFormat(bits, 10 if bits <= 5 else 23)
+        finite = data[np.isfinite(data) & (data != 0.0)]
+        for x in finite:
+            assert np.isfinite(quantize(float(x), fmt))
+
+
+class TestFittingFormats:
+    def test_small_values_fit_everything(self):
+        formats = fitting_formats(np.array([0.5, 1.0, 2.0]))
+        assert formats[0] == BINARY8
+
+    def test_large_values_exclude_5bit_exponents(self):
+        formats = fitting_formats(np.array([1.0e6]))
+        assert BINARY8 not in formats
+        assert BINARY16 not in formats
+        assert formats[0] == BINARY16ALT
+
+    def test_precision_requirement_filters(self):
+        formats = fitting_formats(np.array([1.0]), precision_bits=9)
+        assert BINARY8 not in formats
+        assert BINARY16ALT not in formats
+        assert BINARY16 in formats
+        assert BINARY32 in formats
+
+    def test_ordered_narrowest_first(self):
+        formats = fitting_formats(np.array([1.0]))
+        assert [f.bits for f in formats] == sorted(f.bits for f in formats)

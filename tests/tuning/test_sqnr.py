@@ -1,0 +1,77 @@
+"""Tests for the SQNR metric."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tuning import meets_target, precision_to_sqnr_db, sqnr_db
+
+
+class TestSqnr:
+    def test_perfect_match_is_infinite(self):
+        assert sqnr_db([1.0, 2.0], [1.0, 2.0]) == math.inf
+
+    def test_known_value(self):
+        # signal = 100, noise = 1 -> 20 dB.
+        assert sqnr_db([10.0], [9.0]) == pytest.approx(20.0)
+
+    def test_scales_with_error(self):
+        ref = np.ones(16)
+        a = sqnr_db(ref, ref + 0.1)
+        b = sqnr_db(ref, ref + 0.01)
+        assert b == pytest.approx(a + 20.0)
+
+    def test_nan_output_is_minus_inf(self):
+        assert sqnr_db([1.0, 2.0], [1.0, math.nan]) == -math.inf
+
+    def test_inf_output_is_minus_inf(self):
+        assert sqnr_db([1.0, 2.0], [math.inf, 2.0]) == -math.inf
+
+    def test_zero_reference_nonzero_output(self):
+        assert sqnr_db([0.0, 0.0], [0.1, 0.0]) == -math.inf
+
+    def test_zero_reference_zero_output_is_perfect(self):
+        assert sqnr_db([0.0], [0.0]) == math.inf
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            sqnr_db([1.0, 2.0], [1.0])
+
+    def test_accepts_nested_shapes(self):
+        ref = np.ones((2, 3))
+        out = np.ones((2, 3)) * 1.01
+        assert sqnr_db(ref, out) == pytest.approx(40.0, abs=0.1)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=100)
+    def test_self_comparison_is_max(self, xs):
+        assert sqnr_db(xs, xs) == math.inf
+
+
+class TestTargets:
+    def test_meets_target(self):
+        assert meets_target([10.0], [9.0], 20.0)
+        assert not meets_target([10.0], [9.0], 20.1)
+
+    def test_precision_levels_map_to_expected_db(self):
+        # Power-ratio reading: SQNR >= 1/precision (see module docstring).
+        assert precision_to_sqnr_db(1e-1) == pytest.approx(10.0)
+        assert precision_to_sqnr_db(1e-2) == pytest.approx(20.0)
+        assert precision_to_sqnr_db(1e-3) == pytest.approx(30.0)
+
+    def test_precision_bounds_validated(self):
+        with pytest.raises(ValueError):
+            precision_to_sqnr_db(1.0)
+        with pytest.raises(ValueError):
+            precision_to_sqnr_db(0.0)
+        with pytest.raises(ValueError):
+            precision_to_sqnr_db(-0.5)

@@ -1,0 +1,115 @@
+"""Tests for the FlexFloat wrapper and its file formats."""
+
+import numpy as np
+import pytest
+
+from repro.core import FPFormat
+from repro.tuning import (
+    V2,
+    FlexFloatWrapper,
+    VarSpec,
+    parse_interval_map,
+    parse_precision_file,
+    write_interval_map,
+    write_precision_file,
+)
+
+
+class TinyProgram:
+    name = "tiny"
+    num_inputs = 1
+
+    def variables(self):
+        return [VarSpec("x", 4), VarSpec("k", 1)]
+
+    def run(self, binding, input_id=0):
+        from repro.core import FlexFloatArray
+
+        x = FlexFloatArray([1.0, 2.0, 3.0, 4.0], binding["x"])
+        k = FlexFloatArray(0.5, binding["k"])
+        return (x * float(k.to_numpy())).to_numpy()
+
+
+class TestPrecisionFile:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "prec.cfg"
+        write_precision_file(path, {"x": 7, "k": 11})
+        assert parse_precision_file(path) == {"x": 7, "k": 11}
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "prec.cfg"
+        path.write_text("# header\n\nx 7  # vector\nk 11\n")
+        assert parse_precision_file(path) == {"x": 7, "k": 11}
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "prec.cfg"
+        path.write_text("x 7 extra\n")
+        with pytest.raises(ValueError, match=":1"):
+            parse_precision_file(path)
+
+    def test_duplicate_variable_raises(self, tmp_path):
+        path = tmp_path / "prec.cfg"
+        path.write_text("x 7\nx 8\n")
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_precision_file(path)
+
+
+class TestIntervalMap:
+    def test_roundtrip_through_type_system(self, tmp_path):
+        path = tmp_path / "map.cfg"
+        write_interval_map(path, V2)
+        assert parse_interval_map(path) == [(3, 5), (8, 8), (11, 5), (24, 8)]
+
+    def test_empty_map_raises(self, tmp_path):
+        path = tmp_path / "map.cfg"
+        path.write_text("# nothing\n")
+        with pytest.raises(ValueError, match="empty"):
+            parse_interval_map(path)
+
+    def test_malformed_raises(self, tmp_path):
+        path = tmp_path / "map.cfg"
+        path.write_text("3\n")
+        with pytest.raises(ValueError):
+            parse_interval_map(path)
+
+
+class TestWrapper:
+    def test_exponent_lookup_follows_paper_mapping(self):
+        wrapper = FlexFloatWrapper(TinyProgram(), V2)
+        assert wrapper.exponent_bits_for(3) == 5
+        assert wrapper.exponent_bits_for(4) == 8
+        assert wrapper.exponent_bits_for(9) == 5
+        assert wrapper.exponent_bits_for(12) == 8
+
+    def test_exponent_lookup_out_of_range(self):
+        wrapper = FlexFloatWrapper(TinyProgram(), V2)
+        with pytest.raises(ValueError, match="not covered"):
+            wrapper.exponent_bits_for(99)
+
+    def test_binding_from_precision(self):
+        wrapper = FlexFloatWrapper(TinyProgram(), V2)
+        binding = wrapper.binding_from_precision({"x": 3, "k": 12})
+        assert binding["x"] == FPFormat(5, 2)
+        assert binding["k"] == FPFormat(8, 11)
+
+    def test_binding_rejects_unknown_variable(self):
+        wrapper = FlexFloatWrapper(TinyProgram(), V2)
+        with pytest.raises(ValueError, match="unknown"):
+            wrapper.binding_from_precision({"x": 3, "k": 3, "zz": 3})
+
+    def test_binding_rejects_missing_variable(self):
+        wrapper = FlexFloatWrapper(TinyProgram(), V2)
+        with pytest.raises(ValueError, match="misses"):
+            wrapper.binding_from_precision({"x": 3})
+
+    def test_run_from_file(self, tmp_path):
+        path = tmp_path / "prec.cfg"
+        write_precision_file(path, {"x": 24, "k": 24})
+        wrapper = FlexFloatWrapper(TinyProgram(), V2)
+        out = wrapper.run_from_file(path)
+        np.testing.assert_allclose(out, [0.5, 1.0, 1.5, 2.0])
+
+    def test_wrapper_accepts_raw_interval_list(self):
+        wrapper = FlexFloatWrapper(TinyProgram(), [(3, 5), (24, 8)])
+        assert wrapper.exponent_bits_for(2) == 5
+        assert wrapper.exponent_bits_for(4) == 8
