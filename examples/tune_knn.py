@@ -10,9 +10,8 @@ Run with::
 
 import sys
 
+from repro import Session
 from repro.apps import KnnApp
-from repro.core import collect
-from repro.flow import TransprecisionFlow
 from repro.tuning import V2, precision_to_sqnr_db
 
 
@@ -23,8 +22,14 @@ def main() -> None:
     print(f"Tuning {app.name} for precision {precision:g} "
           f"(SQNR >= {target:.0f} dB), type system V2\n")
 
+    # One session owns the backend, the statistics scope and the
+    # platform; the whole five-step flow executes under it.  The fast
+    # backend is bit-identical to the reference, so tuning results do
+    # not change -- only the wall-clock does.
+    session = Session(backend="fast")
+
     # Steps 1-3: tune and map to storage formats.
-    flow = TransprecisionFlow(app, V2, precision, cache_dir=None)
+    flow = session.flow(app, V2, precision, cache_dir=None)
     tuning = flow.tune()
     binding = tuning.storage_binding(V2)
     print("Step 2-3: tuned precision bits and storage formats")
@@ -36,8 +41,8 @@ def main() -> None:
           + ", ".join(f"{v:.1f} dB" for v in tuning.achieved_db.values())
           + ")\n")
 
-    # Step 4: statistics from the emulated run.
-    with collect() as stats:
+    # Step 4: statistics from the emulated run (session-scoped).
+    with session, session.collect() as stats:
         app.run_numeric(binding, 0)
     print("Step 4: FP operation statistics (Fig. 5 view)")
     for fmt, count in sorted(stats.ops_by_format().items()):

@@ -9,9 +9,9 @@ Run with::
     python examples/vectorized_energy.py
 """
 
+from repro import Session
 from repro.apps import ConvApp
 from repro.core import BINARY8, BINARY16ALT, BINARY32
-from repro.hardware import VirtualPlatform
 
 
 def report(label, run, baseline=None):
@@ -25,7 +25,7 @@ def report(label, run, baseline=None):
 
 def main() -> None:
     app = ConvApp("small")
-    platform = VirtualPlatform()
+    platform = Session().platform
 
     all32 = app.baseline_binding()
     all16 = {v.name: BINARY16ALT for v in app.variables()}

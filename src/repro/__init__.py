@@ -5,7 +5,18 @@ Subpackages
 -----------
 ``repro.core``
     FlexFloat emulation: formats, bit-exact quantization, scalar and array
-    types, operation/cast statistics.
+    types, operation/cast statistics, and the pluggable arithmetic
+    backends (exact ``reference`` oracle, fused ``fast`` numpy kernels)
+    behind the :mod:`repro.core.ops` dispatch layer.
+``repro.session``
+    The :class:`Session` facade: one object owning the backend, the
+    statistics scope, the format environment, the tuning cache and the
+    virtual platform.  Construct one and pass it down (flow, analysis
+    drivers, CLI ``--backend``), or use it as a context manager:
+
+    >>> from repro import Session
+    >>> with Session(backend="fast") as s, s.collect() as stats:
+    ...     pass  # FlexFloat math here runs on the fast backend
 ``repro.tuning``
     Precision tuning: SQNR metric, DistributedSearch reimplementation,
     precision-to-format mapping (type systems V1/V2), the FlexFloat
@@ -23,8 +34,15 @@ Subpackages
     experiment and the headline-claims summary.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from . import core
+from .session import Session, get_session, use_session
 
-__all__ = ["core", "__version__"]
+__all__ = [
+    "core",
+    "Session",
+    "get_session",
+    "use_session",
+    "__version__",
+]

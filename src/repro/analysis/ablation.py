@@ -41,7 +41,7 @@ def _strip_casts(program: Program) -> Program:
 
 def compute(cfg: ExperimentConfig | None = None) -> dict:
     cfg = cfg or ExperimentConfig()
-    platform = VirtualPlatform()
+    platform = cfg.session.platform
     fast16 = VirtualPlatform(
         fp_latency_override={"binary16": 1, "binary16alt": 1}
     )
@@ -61,6 +61,7 @@ def compute(cfg: ExperimentConfig | None = None) -> dict:
         no8_flow = TransprecisionFlow(
             make_app(app_name, cfg.scale), V2_NO8, precision,
             cache_dir=cfg.resolved_cache_dir(),
+            session=cfg.session,
         ).run()
 
         # 3. 16-bit latency 1

@@ -13,7 +13,9 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.apps import APP_NAMES, make_app
+from repro.core.backend import Backend
 from repro.flow import FlowResult, TransprecisionFlow
+from repro.session import Session
 from repro.tuning import V1, V2, TypeSystem
 
 __all__ = [
@@ -31,18 +33,43 @@ PRECISION_LABELS = {1e-1: "1e-1", 1e-2: "1e-2", 1e-3: "1e-3"}
 
 @dataclass
 class ExperimentConfig:
-    """Knobs shared by every driver."""
+    """Knobs shared by every driver.
+
+    Every config owns (or is handed) a :class:`repro.session.Session`;
+    all flows the drivers run execute under it, so the backend choice,
+    the statistics state, the tuning cache and the virtual platform are
+    decided in exactly one place.
+    """
 
     scale: str = "paper"
     cache_dir: Path | None = None
     precisions: tuple[float, ...] = (1e-1, 1e-2, 1e-3)
     apps: Sequence[str] = APP_NAMES
+    #: Backend name/instance used when constructing the default session;
+    #: ignored when an explicit ``session`` is passed.
+    backend: Backend | str = "reference"
+    session: Session | None = None
     #: Cached flow results, keyed by (app, type system, precision).
     _flows: dict = field(default_factory=dict, repr=False)
 
-    def resolved_cache_dir(self) -> Path | None:
+    def __post_init__(self) -> None:
+        # The CLI (and any str-typed caller) may pass a plain string.
+        if self.cache_dir is not None:
+            self.cache_dir = Path(self.cache_dir)
+        # Pin to an immutable copy so a shared mutable sequence cannot
+        # leak between configs (and keys/repr stay stable).
+        self.apps = tuple(self.apps)
+        self.precisions = tuple(self.precisions)
+        if self.session is None:
+            self.session = Session(
+                backend=self.backend, cache_dir=self.resolved_cache_dir()
+            )
+
+    def resolved_cache_dir(self) -> Path:
         if self.cache_dir is not None:
             return Path(self.cache_dir)
+        if self.session is not None:
+            return self.session.cache_dir
         return Path.cwd() / "results" / "tuning"
 
 
@@ -60,7 +87,11 @@ def flow_result(
     type_system: TypeSystem,
     precision: float,
 ) -> FlowResult:
-    """Run (or fetch) the five-step flow for one configuration."""
+    """Run (or fetch) the five-step flow for one configuration.
+
+    Flows execute under ``cfg.session`` (its backend, stats scope,
+    platform and tuning cache).
+    """
     key = (app_name, type_system.name, precision)
     if key not in cfg._flows:
         app = make_app(app_name, cfg.scale)
@@ -69,6 +100,7 @@ def flow_result(
             type_system,
             precision,
             cache_dir=cfg.resolved_cache_dir(),
+            session=cfg.session,
         )
         cfg._flows[key] = flow.run()
     return cfg._flows[key]

@@ -60,8 +60,9 @@ def compute(cfg: ExperimentConfig | None = None) -> dict:
         # PCA with manual vectorization, same binding (labels 1-3).
         flow = flow_result(cfg, "pca", V2, precision)
         manual = PcaApp(cfg.scale, manual_vectorize=True)
-        program = manual.build_program(flow.binding, 0, vectorize=True)
-        manual_report = _run_platform(program)
+        with cfg.session:
+            program = manual.build_program(flow.binding, 0, vectorize=True)
+        manual_report = cfg.session.platform.run(program)
         result["pca_manual"][precision] = (
             manual_report.energy_pj / flow.baseline_report.energy_pj
         )
@@ -69,12 +70,6 @@ def compute(cfg: ExperimentConfig | None = None) -> dict:
     result["averages"]["min_energy_ratio"] = min(ratios)
     result["paper"] = PAPER_CLAIMS
     return result
-
-
-def _run_platform(program):
-    from repro.hardware import VirtualPlatform
-
-    return VirtualPlatform().run(program)
 
 
 def render(result: dict) -> str:

@@ -10,7 +10,6 @@ baselines of all six applications.
 from __future__ import annotations
 
 from repro.apps import make_app
-from repro.hardware import VirtualPlatform
 
 from .common import ExperimentConfig, format_table
 
@@ -21,7 +20,7 @@ PAPER_CLAIMS = {"fp": 0.30, "mem": 0.20}
 
 def compute(cfg: ExperimentConfig | None = None) -> dict:
     cfg = cfg or ExperimentConfig()
-    platform = VirtualPlatform()
+    platform = cfg.session.platform
     result: dict = {"per_app": {}, "fleet": {}}
     sums = {"fp": 0.0, "mem": 0.0, "other": 0.0}
     for app_name in cfg.apps:

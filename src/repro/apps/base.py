@@ -24,6 +24,7 @@ from typing import Mapping, Sequence, Union
 import numpy as np
 
 from repro.core import (
+    BINARY32,
     BINARY64,
     FlexFloat,
     FlexFloatArray,
@@ -193,8 +194,6 @@ class TransprecisionApp(ABC):
     # -- conveniences ----------------------------------------------------
     def baseline_binding(self) -> dict[str, FPFormat]:
         """The paper's baseline: every variable in binary32."""
-        from repro.core import BINARY32
-
         return {spec.name: BINARY32 for spec in self.variables()}
 
     def _fmt(self, binding: Mapping[str, FPFormat], name: str) -> FPFormat:

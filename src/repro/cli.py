@@ -28,8 +28,9 @@ from repro.analysis import (
     summary,
     table1,
 )
-from repro.core import STANDARD_FORMATS
+from repro.core import STANDARD_FORMATS, available_backends
 from repro.hardware import fpu as fpu_model
+from repro.session import Session
 
 __all__ = ["main"]
 
@@ -122,12 +123,25 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="tuning-result cache directory (default: ./results/tuning)",
     )
+    parser.add_argument(
+        "--backend",
+        default="reference",
+        choices=available_backends(),
+        help=(
+            "arithmetic backend for the emulated runs "
+            "(reference: exact bit-integer oracle; fast: precomputed-"
+            "constant numpy kernels, bit-identical but much faster)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     wanted = list(args.experiments)
     if "all" in wanted:
         wanted = _ORDER
-    cfg = ExperimentConfig(scale=args.scale, cache_dir=args.cache_dir)
+    session = Session(backend=args.backend, cache_dir=args.cache_dir)
+    cfg = ExperimentConfig(
+        scale=args.scale, cache_dir=args.cache_dir, session=session
+    )
 
     for name in wanted:
         start = time.time()

@@ -6,9 +6,26 @@ The public surface of the emulation library:
 >>> x = FlexFloat(3.14159, BINARY16ALT)
 >>> float(x)
 3.140625
+
+Arithmetic executes on a pluggable :class:`Backend` (see
+:mod:`repro.core.backend`): the exact ``reference`` engine by default, or
+the ``fast`` precomputed-constant numpy engine -- selected per session
+(:class:`repro.session.Session`) or temporarily via :func:`use_backend`.
+The ``quantize``/``encode``/``decode`` functions exported here dispatch
+to the active backend; the raw reference implementations stay available
+in :mod:`repro.core.quantize`.
 """
 
 from .array import FlexFloatArray
+from .backend import (
+    Backend,
+    FastNumpyBackend,
+    ReferenceBackend,
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
+from .context import ExecutionContext, use_backend
 from .formats import (
     BINARY8,
     BINARY16,
@@ -19,7 +36,14 @@ from .formats import (
     FPFormat,
     format_by_name,
 )
-from .quantize import decode, encode, is_exact, quantize, quantize_array
+from .ops import (
+    active_backend,
+    decode,
+    encode,
+    is_exact,
+    quantize,
+    quantize_array,
+)
 from .stats import (
     Stats,
     collect,
@@ -59,4 +83,13 @@ __all__ = [
     "interchange",
     "ROUNDING_MODES",
     "quantize_mode",
+    "Backend",
+    "ReferenceBackend",
+    "FastNumpyBackend",
+    "register_backend",
+    "resolve_backend",
+    "available_backends",
+    "active_backend",
+    "use_backend",
+    "ExecutionContext",
 ]

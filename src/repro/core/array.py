@@ -13,7 +13,10 @@ with identical semantics to make tuning runs fast:
   a vectorized/unrolled accumulator rather than computing in float64 and
   rounding once -- the difference is exactly the rounding-error structure
   the precision tuner must observe;
-* all operations report elementwise counts to :mod:`repro.core.stats`.
+* all operations report elementwise counts to :mod:`repro.core.stats`
+  and execute through :mod:`repro.core.ops`, i.e. on the active
+  session's backend (the fast backend fuses the elementwise operator
+  with quantize-on-write).
 """
 
 from __future__ import annotations
@@ -22,8 +25,8 @@ from typing import Iterator, Union
 
 import numpy as np
 
+from . import ops
 from .formats import FPFormat
-from .quantize import quantize_array
 from .stats import record_cast, record_op
 from .value import FlexFloat, FormatMismatchError
 
@@ -47,7 +50,7 @@ class FlexFloatArray:
         else:
             payload = np.asarray(values, dtype=np.float64)
         object.__setattr__(self, "_fmt", fmt)
-        object.__setattr__(self, "_data", quantize_array(payload, fmt))
+        object.__setattr__(self, "_data", ops.quantize_array(payload, fmt))
 
     @classmethod
     def _wrap(cls, data: np.ndarray, fmt: FPFormat) -> "FlexFloatArray":
@@ -86,7 +89,7 @@ class FlexFloatArray:
     def cast(self, fmt: FPFormat) -> "FlexFloatArray":
         """Explicit elementwise format conversion (counted as casts)."""
         record_cast(self._fmt, fmt, self.size)
-        return FlexFloatArray._wrap(quantize_array(self._data, fmt), fmt)
+        return FlexFloatArray._wrap(ops.quantize_array(self._data, fmt), fmt)
 
     # ------------------------------------------------------------------
     # Indexing
@@ -107,7 +110,7 @@ class FlexFloatArray:
                 raise FormatMismatchError(self._fmt, value.fmt, "setitem")
             self._data[index] = float(value)
         else:
-            self._data[index] = quantize_array(
+            self._data[index] = ops.quantize_array(
                 np.asarray(value, dtype=np.float64), self._fmt
             )
 
@@ -128,44 +131,48 @@ class FlexFloatArray:
                 raise FormatMismatchError(self._fmt, other.fmt, op)
             return float(other)
         if isinstance(other, (int, float)):
-            return quantize_array(
+            return ops.quantize_array(
                 np.asarray(float(other), dtype=np.float64), self._fmt
             )
         if isinstance(other, np.ndarray):
-            return quantize_array(other.astype(np.float64), self._fmt)
+            return ops.quantize_array(other.astype(np.float64), self._fmt)
         return NotImplemented
 
-    def _binary(self, other: Operand, op: str, apply) -> "FlexFloatArray":
+    def _binary(
+        self, other: Operand, op: str, swap: bool = False
+    ) -> "FlexFloatArray":
         rhs = self._coerce(other, op)
         if rhs is NotImplemented:
             return NotImplemented
-        raw = apply(self._data, rhs)
         record_op(self._fmt, op, int(np.broadcast(self._data, rhs).size))
-        return FlexFloatArray._wrap(quantize_array(raw, self._fmt), self._fmt)
+        a, b = (rhs, self._data) if swap else (self._data, rhs)
+        return FlexFloatArray._wrap(
+            ops.binary_array(op, a, b, self._fmt), self._fmt
+        )
 
     def __add__(self, other):
-        return self._binary(other, "add", np.add)
+        return self._binary(other, "add")
 
     def __radd__(self, other):
-        return self._binary(other, "add", lambda a, b: np.add(b, a))
+        return self._binary(other, "add", swap=True)
 
     def __sub__(self, other):
-        return self._binary(other, "sub", np.subtract)
+        return self._binary(other, "sub")
 
     def __rsub__(self, other):
-        return self._binary(other, "sub", lambda a, b: np.subtract(b, a))
+        return self._binary(other, "sub", swap=True)
 
     def __mul__(self, other):
-        return self._binary(other, "mul", np.multiply)
+        return self._binary(other, "mul")
 
     def __rmul__(self, other):
-        return self._binary(other, "mul", lambda a, b: np.multiply(b, a))
+        return self._binary(other, "mul", swap=True)
 
     def __truediv__(self, other):
-        return self._binary(other, "div", _ieee_divide)
+        return self._binary(other, "div")
 
     def __rtruediv__(self, other):
-        return self._binary(other, "div", lambda a, b: _ieee_divide(b, a))
+        return self._binary(other, "div", swap=True)
 
     def __neg__(self) -> "FlexFloatArray":
         return FlexFloatArray._wrap(-self._data, self._fmt)
@@ -194,28 +201,14 @@ class FlexFloatArray:
             work = work.reshape(-1, work.shape[-1])
         n = work.shape[1]
         if n == 0:
-            work = np.zeros((work.shape[0], 1))
+            reduced = np.zeros(work.shape[0])
         else:
             record_op(self._fmt, "add", (n - 1) * work.shape[0])
-        while work.shape[1] > 1:
-            if work.shape[1] % 2:
-                carry = work[:, -1:]
-                pairs = work[:, :-1]
-            else:
-                carry = None
-                pairs = work
-            summed = quantize_array(
-                pairs[:, 0::2] + pairs[:, 1::2], self._fmt
-            )
-            work = (
-                summed
-                if carry is None
-                else np.concatenate([summed, carry], axis=1)
-            )
+            reduced = ops.tree_sum(work, self._fmt)
         if axis is None:
-            return FlexFloat(float(work[0, 0]), self._fmt)
+            return FlexFloat(float(reduced[0]), self._fmt)
         return FlexFloatArray._wrap(
-            np.ascontiguousarray(work.reshape(lead)), self._fmt
+            np.ascontiguousarray(reduced.reshape(lead)), self._fmt
         )
 
     def dot(self, other: "FlexFloatArray") -> FlexFloat:
@@ -255,8 +248,3 @@ class FlexFloatArray:
 
     def __repr__(self) -> str:
         return f"FlexFloatArray({self._fmt!r}, shape={self.shape})"
-
-
-def _ieee_divide(a: np.ndarray, b) -> np.ndarray:
-    with np.errstate(divide="ignore", invalid="ignore"):
-        return np.divide(a, b)

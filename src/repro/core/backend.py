@@ -1,0 +1,360 @@
+"""Pluggable arithmetic backends (the platform's "execution engines").
+
+The paper's platform is explicitly multi-level: the same program runs on
+the FlexFloat *emulation* library while tuning and on the *native*
+transprecision FPU afterwards.  This module gives the reproduction the
+matching seam: every scalar and array operation, cast and reduction is
+routed through a :class:`Backend`, and backends are swappable per
+session (see :mod:`repro.session`) or temporarily via
+:func:`repro.core.context.use_backend`.
+
+Two backends ship:
+
+* :class:`ReferenceBackend` -- the exact bit-integer scalar pipeline of
+  :mod:`repro.core.quantize` plus its reference numpy vectorization.
+  This is the semantics oracle; every other backend must match it
+  bit for bit.
+* :class:`FastNumpyBackend` -- the production array path.  Per-format
+  quantization constants are precomputed once and cached, binary16 /
+  binary32 sanitization uses the hardware's own correctly-rounding
+  ``float16``/``float32`` conversions, and all other formats go through
+  a short scale--``rint``--unscale kernel (both are IEEE 754
+  round-to-nearest-even, so results stay bit-identical to the
+  reference; the randomized cross-check in ``tests/core/test_backend``
+  enforces this).  Arithmetic fuses the operation with quantize-on-write
+  so each emulated array op costs two to three numpy passes instead of
+  the reference's ~25.
+
+Backends are stateless apart from caches, so one shared instance per
+class is handed out by :func:`resolve_backend`.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from . import quantize as _reference
+from .formats import FPFormat
+
+__all__ = [
+    "Backend",
+    "ReferenceBackend",
+    "FastNumpyBackend",
+    "register_backend",
+    "resolve_backend",
+    "available_backends",
+]
+
+
+def _safe_div(a: float, b: float) -> float:
+    """IEEE division on doubles: finite/0 is a signed infinity, 0/0 is NaN."""
+    try:
+        return a / b
+    except ZeroDivisionError:
+        if a == 0.0 or a != a:
+            return math.nan
+        return math.copysign(math.inf, a) * math.copysign(1.0, b)
+
+
+def _ieee_divide(a, b) -> np.ndarray:
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.divide(a, b)
+
+
+#: Scalar implementations of the binary operators, on raw doubles.
+SCALAR_OPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": _safe_div,
+}
+
+#: Vectorized implementations of the binary operators.
+ARRAY_OPS = {
+    "add": np.add,
+    "sub": np.subtract,
+    "mul": np.multiply,
+    "div": _ieee_divide,
+}
+
+#: Vectorized auxiliary (softfloat) functions.
+UNARY_ARRAY_OPS = {
+    "sqrt": np.sqrt,
+    "exp": np.exp,
+    "log": np.log,
+}
+
+
+class Backend(ABC):
+    """One arithmetic engine: quantization, arithmetic, casts, reductions.
+
+    Subclasses must provide the two quantizers; everything else has a
+    default implementation expressed in terms of them, so a backend only
+    overrides what it can genuinely accelerate.
+    """
+
+    #: Registry key; subclasses must override.
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # Scalar path
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def quantize(self, x: float, fmt: FPFormat) -> float:
+        """Round ``x`` to the nearest value representable in ``fmt``."""
+
+    def binary(self, op: str, a: float, b: float, fmt: FPFormat) -> float:
+        """Apply a binary operator on raw doubles and sanitize the result."""
+        return self.quantize(SCALAR_OPS[op](a, b), fmt)
+
+    def encode(self, x: float, fmt: FPFormat) -> int:
+        return _reference.encode(x, fmt)
+
+    def decode(self, pattern: int, fmt: FPFormat) -> float:
+        return _reference.decode(pattern, fmt)
+
+    # ------------------------------------------------------------------
+    # Array path
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def quantize_array(self, values, fmt: FPFormat) -> np.ndarray:
+        """Vectorized :meth:`quantize` over a float64 array."""
+
+    def binary_array(self, op: str, a, b, fmt: FPFormat) -> np.ndarray:
+        """Fused elementwise operator + quantize-on-write."""
+        with np.errstate(invalid="ignore", over="ignore"):
+            # IEEE specials (inf - inf, 0 * inf, ...) are intended
+            # emulation results, not numerical accidents.
+            raw = ARRAY_OPS[op](a, b)
+        return self.quantize_array(raw, fmt)
+
+    def unary_array(self, op: str, values, fmt: FPFormat) -> np.ndarray:
+        """Vectorized auxiliary function (sqrt/exp/log) + sanitization."""
+        with np.errstate(invalid="ignore", divide="ignore", over="ignore"):
+            raw = UNARY_ARRAY_OPS[op](values)
+        return self.quantize_array(raw, fmt)
+
+    def encode_array(self, values, fmt: FPFormat) -> np.ndarray:
+        return _reference.encode_array(values, fmt)
+
+    def decode_array(self, patterns, fmt: FPFormat) -> np.ndarray:
+        return _reference.decode_array(patterns, fmt)
+
+    def tree_sum(self, work: np.ndarray, fmt: FPFormat) -> np.ndarray:
+        """Balanced-tree row reduction with per-level sanitization.
+
+        ``work`` is a 2D ``(rows, n)`` float64 array whose elements are
+        already representable in ``fmt``; returns the per-row sums as a
+        1D array, quantizing after every addition level (the rounding
+        pattern of a vectorized/unrolled hardware accumulator).
+        """
+        while work.shape[1] > 1:
+            if work.shape[1] % 2:
+                carry = work[:, -1:]
+                pairs = work[:, :-1]
+            else:
+                carry = None
+                pairs = work
+            summed = self.binary_array(
+                "add", pairs[:, 0::2], pairs[:, 1::2], fmt
+            )
+            work = (
+                summed
+                if carry is None
+                else np.concatenate([summed, carry], axis=1)
+            )
+        return work[:, 0]
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class ReferenceBackend(Backend):
+    """The exact bit-integer scalar pipeline and its reference numpy port.
+
+    This is the seed implementation of the library, unchanged: scalars
+    go through arbitrary-precision integer arithmetic on the IEEE bit
+    pattern, arrays through the straight-line int64 translation of the
+    same algorithm.  Slow but obviously correct -- the oracle every
+    other backend is cross-checked against.
+    """
+
+    name = "reference"
+
+    def quantize(self, x: float, fmt: FPFormat) -> float:
+        return _reference.quantize(x, fmt)
+
+    def quantize_array(self, values, fmt: FPFormat) -> np.ndarray:
+        return _reference.quantize_array(values, fmt)
+
+
+class _FormatParams:
+    """Precomputed quantization constants for one format."""
+
+    __slots__ = ("kind", "man_bits", "qmin", "max_value")
+
+    def __init__(self, fmt: FPFormat) -> None:
+        if fmt.exp_bits == 11 and fmt.man_bits == 52:
+            self.kind = "identity"  # binary64 is the backing type
+        elif fmt.exp_bits == 5 and fmt.man_bits == 10:
+            self.kind = "half"  # native float16 conversion is exact RNE
+        elif fmt.exp_bits == 8 and fmt.man_bits == 23:
+            self.kind = "single"  # native float32 conversion is exact RNE
+        else:
+            self.kind = "generic"
+        self.man_bits = fmt.man_bits
+        #: Quantum exponent floor: below emin the spacing is pinned to
+        #: the subnormal quantum 2**(emin - man_bits).
+        self.qmin = fmt.emin - fmt.man_bits
+        self.max_value = fmt.max_value
+
+
+class FastNumpyBackend(Backend):
+    """Precomputed-constant, fused-kernel array backend.
+
+    Scalars are not a hot path (the tuner and the apps vectorize), so
+    the scalar methods delegate to the exact reference pipeline; the
+    array methods are rebuilt for speed:
+
+    * per-format constants (``emin - man_bits``, ``max_value``, kernel
+      kind) are computed once and cached in a ``fmt -> params`` table;
+    * binary16/binary32 use the CPU's own float16/float32 converters,
+      which are IEEE correctly-rounding (one rounding, RNE) and
+      therefore bit-identical to the reference quantizer;
+    * every other format uses a scale--``rint``--unscale kernel: with
+      ``q = max(exp(x), emin) - man_bits`` the value ``x * 2**-q`` is an
+      exact power-of-two scaling, ``rint`` performs the one
+      round-to-nearest-even, and scaling back is exact because the
+      rounded integer fits 25 bits.  Overflow beyond ``maxfinite`` is
+      then mapped to infinity exactly where IEEE 754 demands
+      (``>= maxfinite + ulp/2`` rounds up to ``2**(emax+1)``);
+    * :meth:`binary_array` fuses the operator with quantize-on-write:
+      the raw result buffer is consumed in place instead of being
+      re-walked by a separate sanitization pass.
+    """
+
+    name = "fast"
+
+    def __init__(self) -> None:
+        self._params: dict[FPFormat, _FormatParams] = {}
+
+    # ------------------------------------------------------------------
+    def params_for(self, fmt: FPFormat) -> _FormatParams:
+        """The cached ``fmt -> quantization constants`` table entry."""
+        try:
+            return self._params[fmt]
+        except KeyError:
+            params = self._params[fmt] = _FormatParams(fmt)
+            return params
+
+    # -- scalar: exact reference (not the hot path) --------------------
+    def quantize(self, x: float, fmt: FPFormat) -> float:
+        return _reference.quantize(x, fmt)
+
+    # -- array: fast kernels -------------------------------------------
+    def quantize_array(self, values, fmt: FPFormat) -> np.ndarray:
+        a = np.asarray(values, dtype=np.float64)
+        return self._sanitize(a, self.params_for(fmt), owned=False)
+
+    def binary_array(self, op: str, a, b, fmt: FPFormat) -> np.ndarray:
+        with np.errstate(invalid="ignore", over="ignore"):
+            raw = ARRAY_OPS[op](a, b)  # fresh buffer: safe to consume
+        return self._sanitize(raw, self.params_for(fmt), owned=True)
+
+    def unary_array(self, op: str, values, fmt: FPFormat) -> np.ndarray:
+        with np.errstate(invalid="ignore", divide="ignore", over="ignore"):
+            raw = UNARY_ARRAY_OPS[op](values)
+        return self._sanitize(raw, self.params_for(fmt), owned=True)
+
+    # ------------------------------------------------------------------
+    def _sanitize(
+        self, a: np.ndarray, p: _FormatParams, owned: bool
+    ) -> np.ndarray:
+        """Quantize ``a`` in the fewest possible numpy passes.
+
+        ``owned`` marks buffers this backend just produced (fused ops),
+        which may be returned or clobbered without copying.
+        """
+        if a.ndim == 0:
+            # Ufuncs collapse 0-d arrays to scalars, which breaks the
+            # out= passes below; route through a one-element view.
+            return self._sanitize(a.reshape(1), p, owned).reshape(())
+        if p.kind == "identity":
+            return a if owned else a.copy()
+        if p.kind == "half":
+            with np.errstate(over="ignore"):  # saturation to inf is wanted
+                return a.astype(np.float16).astype(np.float64)
+        if p.kind == "single":
+            with np.errstate(over="ignore"):
+                return a.astype(np.float32).astype(np.float64)
+
+        # Generic kernel.  frexp gives exp(x) + 1; the quantum exponent
+        # is q = max(exp(x), emin) - man_bits, clamped below emin so
+        # subnormal spacing takes over.  Non-finite values ride through
+        # every step unchanged (ldexp/rint are identities on them).
+        _, q = np.frexp(a)
+        q = q.astype(np.int64, copy=False)
+        np.subtract(q, 1 + p.man_bits, out=q)
+        np.maximum(q, p.qmin, out=q)
+        with np.errstate(over="ignore", invalid="ignore"):
+            scaled = np.ldexp(a, np.negative(q))
+            np.rint(scaled, out=scaled)
+            np.ldexp(scaled, q, out=scaled)
+        # Round-to-nearest overflows to infinity exactly when the
+        # rounded magnitude exceeds the largest finite value.
+        over = np.abs(scaled) > p.max_value
+        if over.any():
+            scaled[over] = np.copysign(np.inf, scaled[over])
+        return scaled
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, type[Backend]] = {}
+_INSTANCES: dict[str, Backend] = {}
+
+
+def register_backend(cls: type[Backend]) -> type[Backend]:
+    """Register a backend class under ``cls.name`` (usable as decorator)."""
+    if not cls.name or cls.name == "abstract":
+        raise ValueError(f"{cls.__name__} needs a non-empty 'name'")
+    _REGISTRY[cls.name] = cls
+    _INSTANCES.pop(cls.name, None)
+    return cls
+
+
+def available_backends() -> tuple[str, ...]:
+    """The registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_backend(spec: "Backend | str | None" = None) -> Backend:
+    """Turn a backend name (or instance, or None) into a Backend.
+
+    ``None`` resolves to the reference backend; strings go through the
+    registry and share one instance per class.
+    """
+    if spec is None:
+        spec = "reference"
+    if isinstance(spec, Backend):
+        return spec
+    if isinstance(spec, str):
+        try:
+            cls = _REGISTRY[spec]
+        except KeyError:
+            known = ", ".join(available_backends())
+            raise KeyError(
+                f"unknown backend {spec!r}; known backends: {known}"
+            ) from None
+        if spec not in _INSTANCES:
+            _INSTANCES[spec] = cls()
+        return _INSTANCES[spec]
+    raise TypeError(f"cannot resolve a backend from {spec!r}")
+
+
+register_backend(ReferenceBackend)
+register_backend(FastNumpyBackend)

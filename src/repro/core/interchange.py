@@ -19,7 +19,7 @@ import numpy as np
 
 from .array import FlexFloatArray
 from .formats import BINARY16, BINARY16ALT, FPFormat
-from .quantize import decode_array, encode_array, quantize_array
+from .ops import decode_array, encode_array
 
 __all__ = [
     "to_float16",

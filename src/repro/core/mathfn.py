@@ -13,10 +13,8 @@ from __future__ import annotations
 import math
 from typing import Union
 
-import numpy as np
-
+from . import ops
 from .array import FlexFloatArray
-from .quantize import quantize_array
 from .stats import record_op
 from .value import FlexFloat
 
@@ -25,12 +23,12 @@ __all__ = ["sqrt", "exp", "log", "fabs", "fmin", "fmax", "clamp", "fma"]
 FF = Union[FlexFloat, FlexFloatArray]
 
 
-def _unary(x: FF, name: str, scalar_fn, array_fn) -> FF:
+def _unary(x: FF, name: str, scalar_fn) -> FF:
     if isinstance(x, FlexFloatArray):
         record_op(x.fmt, name, x.size)
-        with np.errstate(invalid="ignore", divide="ignore", over="ignore"):
-            raw = array_fn(x.to_numpy())
-        return FlexFloatArray(quantize_array(raw, x.fmt), x.fmt)
+        return FlexFloatArray._wrap(
+            ops.unary_array(name, x.to_numpy(), x.fmt), x.fmt
+        )
     record_op(x.fmt, name)
     try:
         raw = scalar_fn(float(x))
@@ -43,17 +41,17 @@ def _unary(x: FF, name: str, scalar_fn, array_fn) -> FF:
 
 def sqrt(x: FF) -> FF:
     """Square root, sanitized to the operand's format."""
-    return _unary(x, "sqrt", math.sqrt, np.sqrt)
+    return _unary(x, "sqrt", math.sqrt)
 
 
 def exp(x: FF) -> FF:
     """Exponential, sanitized to the operand's format."""
-    return _unary(x, "exp", math.exp, np.exp)
+    return _unary(x, "exp", math.exp)
 
 
 def log(x: FF) -> FF:
     """Natural logarithm, sanitized to the operand's format."""
-    return _unary(x, "log", math.log, np.log)
+    return _unary(x, "log", math.log)
 
 
 def fabs(x: FF) -> FF:

@@ -19,6 +19,13 @@ Two implementations are provided and tested against each other:
 :func:`encode` / :func:`decode` convert between quantized values and the
 packed integer bit patterns of the target format, which is what the
 hardware unit moves through memory.
+
+This module is the *reference* implementation: it is what
+:class:`repro.core.backend.ReferenceBackend` executes, and the oracle
+every other backend (e.g. the fast numpy engine) is cross-checked
+against bit for bit.  Library code should normally go through the
+dispatching versions in :mod:`repro.core.ops` instead of calling these
+directly.
 """
 
 from __future__ import annotations
@@ -242,7 +249,10 @@ def encode_array(values: np.ndarray, fmt: FPFormat) -> np.ndarray:
     frac_normal = np.where(normal, sig - np.uint64(1 << 52), np.uint64(0))
     frac_normal = frac_normal >> np.uint64(52 - m) if m < 52 else frac_normal
     # Destination subnormals: the fraction field is |v| / 2**(emin - m).
-    frac_sub = np.ldexp(np.abs(a_safe), m - fmt.emin)
+    # The scaling overflows for normal-path elements; those lanes are
+    # masked out right below, so the overflow is benign.
+    with np.errstate(over="ignore"):
+        frac_sub = np.ldexp(np.abs(a_safe), m - fmt.emin)
     frac_sub = np.where(normal | ~finite, 0.0, frac_sub)
     frac = np.where(normal, frac_normal, frac_sub.astype(np.uint64))
 

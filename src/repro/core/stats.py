@@ -9,6 +9,14 @@ recorded inside it is flagged as vector work.
 Collection is opt-in: operations are only counted while at least one
 :class:`Stats` object is installed via :func:`collect`, so the emulation
 fast path pays a single ``if`` when statistics are off.
+
+Collection state is *session-scoped*: the active collectors and the
+vectorizable-region depth live on the current
+:class:`repro.core.context.ExecutionContext` (owned by a
+:class:`repro.session.Session`), not in module globals.  The functions
+here are thin compatibility shims over that context, so existing
+``collect()``/``record_op()`` call sites keep working unchanged under
+the default session.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from .context import current_context, install_collector, vector_region
 from .formats import FPFormat
 
 __all__ = [
@@ -141,62 +150,49 @@ class Stats:
 
 
 # ----------------------------------------------------------------------
-# Module-level collection state
+# Collection shims over the current execution context
 # ----------------------------------------------------------------------
-_active: list[Stats] = []
-_vector_depth = 0
-
-
 @contextmanager
 def collect(stats: Stats | None = None) -> Iterator[Stats]:
     """Install a collector; ops performed inside the block are recorded.
 
     Collectors nest: every active collector receives every event, so an
     outer whole-program collector and an inner per-kernel collector can
-    run simultaneously.
+    run simultaneously.  The collector is installed on the execution
+    context that is current at entry (i.e. the active session's).
     """
     if stats is None:
         stats = Stats()
-    _active.append(stats)
-    try:
+    with install_collector(current_context(), stats):
         yield stats
-    finally:
-        # Remove by identity, not equality: Stats is a dataclass, and two
-        # collectors with equal contents would confuse list.remove().
-        for i in range(len(_active) - 1, -1, -1):
-            if _active[i] is stats:
-                del _active[i]
-                break
 
 
 @contextmanager
 def vectorizable() -> Iterator[None]:
     """Tag the enclosed operations as belonging to a vectorizable region."""
-    global _vector_depth
-    _vector_depth += 1
-    try:
+    with vector_region(current_context()):
         yield
-    finally:
-        _vector_depth -= 1
 
 
 def in_vectorizable_region() -> bool:
-    return _vector_depth > 0
+    return current_context().vector_depth > 0
 
 
 def record_op(fmt: FPFormat, op: str, count: int = 1) -> None:
     """Record ``count`` operations of ``op`` in ``fmt`` (module-level hook)."""
-    if not _active:
+    ctx = current_context()
+    if not ctx.collectors:
         return
-    vector = _vector_depth > 0
-    for stats in _active:
+    vector = ctx.vector_depth > 0
+    for stats in ctx.collectors:
         stats.add_op(fmt, op, count, vector)
 
 
 def record_cast(src: FPFormat, dst: FPFormat, count: int = 1) -> None:
     """Record ``count`` casts from ``src`` to ``dst``."""
-    if not _active:
+    ctx = current_context()
+    if not ctx.collectors:
         return
-    vector = _vector_depth > 0
-    for stats in _active:
+    vector = ctx.vector_depth > 0
+    for stats in ctx.collectors:
         stats.add_cast(src, dst, count, vector)

@@ -14,7 +14,9 @@ Mirrors the C++ ``flexfloat<e, m>`` template class in Python:
 * conversion back to a native float is explicit, via ``float(x)``.
 
 Every arithmetic operation and cast reports to :mod:`repro.core.stats`
-when a collector is active.
+when a collector is active, and all arithmetic/quantization routes
+through :mod:`repro.core.ops`, so the active session's backend executes
+it.
 """
 
 from __future__ import annotations
@@ -22,8 +24,8 @@ from __future__ import annotations
 import math
 from typing import Union
 
+from . import ops
 from .formats import FPFormat
-from .quantize import decode, encode, quantize
 from .stats import record_cast, record_op
 
 __all__ = ["FlexFloat", "FormatMismatchError"]
@@ -62,7 +64,7 @@ class FlexFloat:
         else:
             raw = float(value)
         object.__setattr__(self, "_fmt", fmt)
-        object.__setattr__(self, "_value", quantize(raw, fmt))
+        object.__setattr__(self, "_value", ops.quantize(raw, fmt))
 
     # ------------------------------------------------------------------
     # Introspection
@@ -75,19 +77,19 @@ class FlexFloat:
     @property
     def bits(self) -> int:
         """The packed bit pattern of the value in its format."""
-        return encode(self._value, self._fmt)
+        return ops.encode(self._value, self._fmt)
 
     @classmethod
     def from_bits(cls, pattern: int, fmt: FPFormat) -> "FlexFloat":
         """Build a value from a packed bit pattern."""
-        return cls(decode(pattern, fmt), fmt)
+        return cls(ops.decode(pattern, fmt), fmt)
 
     def cast(self, fmt: FPFormat) -> "FlexFloat":
         """Explicitly convert to another format (counted as a cast)."""
         record_cast(self._fmt, fmt)
         out = object.__new__(FlexFloat)
         object.__setattr__(out, "_fmt", fmt)
-        object.__setattr__(out, "_value", quantize(self._value, fmt))
+        object.__setattr__(out, "_value", ops.quantize(self._value, fmt))
         return out
 
     def __float__(self) -> float:
@@ -112,45 +114,51 @@ class FlexFloat:
             # Implicit constructor from a standard FP literal: the operand
             # is first sanitized to this format, as the C++ implicit
             # conversion would do.
-            return quantize(float(other), self._fmt)
+            return ops.quantize(float(other), self._fmt)
         return NotImplemented  # type: ignore[return-value]
 
     def _make(self, raw: float) -> "FlexFloat":
         out = object.__new__(FlexFloat)
         object.__setattr__(out, "_fmt", self._fmt)
-        object.__setattr__(out, "_value", quantize(raw, self._fmt))
+        object.__setattr__(out, "_value", ops.quantize(raw, self._fmt))
         return out
 
-    def _binary(self, other, op: str, apply) -> "FlexFloat":
+    def _binary(self, other, op: str, swap: bool = False) -> "FlexFloat":
         rhs = self._coerce(other, op)
         if rhs is NotImplemented:
             return NotImplemented
         record_op(self._fmt, op)
-        return self._make(apply(self._value, rhs))
+        a, b = (rhs, self._value) if swap else (self._value, rhs)
+        out = object.__new__(FlexFloat)
+        object.__setattr__(out, "_fmt", self._fmt)
+        object.__setattr__(
+            out, "_value", ops.binary_scalar(op, a, b, self._fmt)
+        )
+        return out
 
     def __add__(self, other):
-        return self._binary(other, "add", lambda a, b: a + b)
+        return self._binary(other, "add")
 
     def __radd__(self, other):
-        return self._binary(other, "add", lambda a, b: b + a)
+        return self._binary(other, "add", swap=True)
 
     def __sub__(self, other):
-        return self._binary(other, "sub", lambda a, b: a - b)
+        return self._binary(other, "sub")
 
     def __rsub__(self, other):
-        return self._binary(other, "sub", lambda a, b: b - a)
+        return self._binary(other, "sub", swap=True)
 
     def __mul__(self, other):
-        return self._binary(other, "mul", lambda a, b: a * b)
+        return self._binary(other, "mul")
 
     def __rmul__(self, other):
-        return self._binary(other, "mul", lambda a, b: b * a)
+        return self._binary(other, "mul", swap=True)
 
     def __truediv__(self, other):
-        return self._binary(other, "div", _safe_div)
+        return self._binary(other, "div")
 
     def __rtruediv__(self, other):
-        return self._binary(other, "div", lambda a, b: _safe_div(b, a))
+        return self._binary(other, "div", swap=True)
 
     def __neg__(self) -> "FlexFloat":
         # Sign flips are free in hardware (sign-bit inversion); they are
@@ -229,12 +237,3 @@ class FlexFloat:
             f"[0x{self.bits:0{width}x}])"
         )
 
-
-def _safe_div(a: float, b: float) -> float:
-    """IEEE division on doubles: finite/0 is a signed infinity, 0/0 is NaN."""
-    try:
-        return a / b
-    except ZeroDivisionError:
-        if a == 0.0 or a != a:
-            return math.nan
-        return math.copysign(math.inf, a) * math.copysign(1.0, b)

@@ -18,6 +18,13 @@ Five steps, end to end:
 :class:`TransprecisionFlow` drives all five and returns a
 :class:`FlowResult`; tuning results are cached on disk because steps 2-5
 are re-run by several experiment drivers.
+
+Flows execute through a :class:`repro.session.Session`: tuning, the
+statistics run and the platform replay all happen with the session's
+execution context active, so the session's backend does the arithmetic
+and the session's (not a global) collector state receives the counts.
+When no session is passed, the current/default one is used and the
+legacy ``cache_dir``/``platform`` arguments behave exactly as before.
 """
 
 from __future__ import annotations
@@ -26,8 +33,9 @@ import json
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.core import Stats, collect
+from repro.core import Stats
 from repro.hardware import Program, RunReport, VirtualPlatform
+from repro.session import Session, get_session
 from repro.tuning import (
     DistributedSearch,
     TuningResult,
@@ -37,6 +45,10 @@ from repro.tuning import (
 from repro.apps import TransprecisionApp
 
 __all__ = ["FlowResult", "TransprecisionFlow", "default_cache_dir"]
+
+#: Sentinel: "cache_dir not given" (inherit the session's), as opposed
+#: to an explicit ``None`` ("disable caching").
+_UNSET = object()
 
 
 def default_cache_dir() -> Path:
@@ -86,7 +98,12 @@ class TransprecisionFlow:
         The paper-style requirement (1e-1, 1e-2, 1e-3); converted to an
         SQNR target internally.
     cache_dir:
-        Tuning cache location; None disables caching.
+        Tuning cache location; an explicit None disables caching; when
+        omitted and a session is passed, the session's cache directory
+        is used.
+    session:
+        The :class:`repro.session.Session` to execute under; defaults to
+        the session active at :meth:`run`/:meth:`tune` time.
     """
 
     def __init__(
@@ -94,15 +111,33 @@ class TransprecisionFlow:
         app: TransprecisionApp,
         type_system: TypeSystem,
         precision: float,
-        cache_dir: Path | str | None = None,
+        cache_dir: "Path | str | None" = _UNSET,
         platform: VirtualPlatform | None = None,
+        session: Session | None = None,
     ) -> None:
         self.app = app
         self.type_system = type_system
         self.precision = precision
         self.target_db = precision_to_sqnr_db(precision)
-        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
-        self.platform = platform or VirtualPlatform()
+        self.session = session
+        if cache_dir is _UNSET:
+            self.cache_dir: Path | None = (
+                session.cache_dir if session is not None else None
+            )
+        elif cache_dir is None:
+            self.cache_dir = None
+        else:
+            self.cache_dir = Path(cache_dir)
+        if platform is not None:
+            self.platform = platform
+        elif session is not None:
+            self.platform = session.platform
+        else:
+            self.platform = VirtualPlatform()
+
+    def _session(self) -> Session:
+        """The session this flow executes under."""
+        return self.session if self.session is not None else get_session()
 
     # ------------------------------------------------------------------
     # Step 2 (+3): tuning with a disk cache
@@ -120,6 +155,7 @@ class TransprecisionFlow:
         """Step 2: run (or load) the precision search."""
         path = self._cache_path()
         if path is not None and path.exists():
+            # Cache hits need no session: nothing is executed.
             payload = json.loads(path.read_text())
             return TuningResult(
                 program=payload["program"],
@@ -135,7 +171,8 @@ class TransprecisionFlow:
                 evaluations=payload["evaluations"],
             )
         search = DistributedSearch(self.app, self.type_system, self.target_db)
-        result = search.tune(input_ids)
+        with self._session():
+            result = search.tune(input_ids)
         if path is not None:
             path.parent.mkdir(parents=True, exist_ok=True)
             path.write_text(
@@ -157,25 +194,27 @@ class TransprecisionFlow:
 
     # ------------------------------------------------------------------
     def run(self, input_id: int = 0) -> FlowResult:
-        """Steps 2-5 for one input set."""
-        tuning = self.tune()
-        binding = tuning.storage_binding(self.type_system)  # step 3
+        """Steps 2-5 for one input set, all under the flow's session."""
+        session = self._session()
+        with session:
+            tuning = self.tune()
+            binding = tuning.storage_binding(self.type_system)  # step 3
 
-        stats = Stats()  # step 4
-        with collect(stats):
-            self.app.run_numeric(binding, input_id)
+            stats = Stats()  # step 4
+            with session.collect(stats):
+                self.app.run_numeric(binding, input_id)
 
-        baseline = self.app.build_program(  # step 5: binary32 baseline
-            self.app.baseline_binding(), input_id, vectorize=False
-        )
-        tuned = self.app.build_program(binding, input_id, vectorize=True)
-        return FlowResult(
-            app=self.app.name,
-            type_system=self.type_system.name,
-            precision=self.precision,
-            tuning=tuning,
-            binding=binding,
-            stats=stats,
-            baseline_report=self.platform.run(baseline),
-            tuned_report=self.platform.run(tuned),
-        )
+            baseline = self.app.build_program(  # step 5: binary32 baseline
+                self.app.baseline_binding(), input_id, vectorize=False
+            )
+            tuned = self.app.build_program(binding, input_id, vectorize=True)
+            return FlowResult(
+                app=self.app.name,
+                type_system=self.type_system.name,
+                precision=self.precision,
+                tuning=tuning,
+                binding=binding,
+                stats=stats,
+                baseline_report=self.platform.run(baseline),
+                tuned_report=self.platform.run(tuned),
+            )

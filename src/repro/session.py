@@ -1,0 +1,244 @@
+"""The Session facade: one object owning the platform's execution state.
+
+A :class:`Session` bundles everything the layers above the emulation
+library used to re-derive by hand:
+
+* the arithmetic :class:`~repro.core.backend.Backend` (``reference`` or
+  ``fast``),
+* the statistics-collection state (previously a module-global list in
+  :mod:`repro.core.stats`; now scoped to the session's execution
+  context),
+* the floating-point format environment,
+* the tuning-result cache directory, and
+* the :class:`~repro.hardware.VirtualPlatform` the kernels are timed on.
+
+Construct one and pass it down -- ``TransprecisionFlow``, the analysis
+drivers' :class:`~repro.analysis.common.ExperimentConfig`, and the CLI
+all accept a session -- or activate it as a context manager so every
+emulated operation in the block dispatches through it:
+
+>>> from repro.session import Session
+>>> from repro.core import FlexFloatArray, BINARY16ALT
+>>> s = Session(backend="fast")
+>>> with s, s.collect() as stats:
+...     a = FlexFloatArray([1.0, 2.0, 4.0], BINARY16ALT)
+...     total = (a * a).sum()
+>>> stats.total_arith_ops()
+5
+
+Sessions nest: activating a session pushes its execution context, so
+statistics and backend choice are fully isolated from the enclosing
+session.  Module-level helpers (:func:`repro.core.collect`,
+:func:`repro.core.record_op`, ...) keep working as thin shims over the
+*current* session, which is the process-wide default one when none is
+active.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from .core.backend import Backend, resolve_backend
+from .core.context import (
+    ExecutionContext,
+    default_context,
+    install_collector,
+    pop_context,
+    push_context,
+    vector_region,
+)
+from .core.context import use_backend as _use_backend
+from .core.formats import STANDARD_FORMATS, FPFormat
+from .core.stats import Stats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .flow import TransprecisionFlow
+    from .hardware import VirtualPlatform
+
+__all__ = ["Session", "get_session", "use_session", "use_backend"]
+
+
+def default_cache_dir() -> Path:
+    """Where tuning results are cached when a session does not say."""
+    return Path.cwd() / "results" / "tuning"
+
+
+class Session:
+    """One execution context + platform environment for the whole stack.
+
+    Parameters
+    ----------
+    backend:
+        Backend instance or registry name (``"reference"``/``"fast"``);
+        defaults to the exact reference engine.
+    cache_dir:
+        Tuning-result cache directory (created on demand); defaults to
+        ``./results/tuning``.
+    platform:
+        The virtual platform kernels are timed on; constructed lazily
+        when first used.
+    formats:
+        The format environment (defaults to the paper's extended type
+        system plus binary64).
+    """
+
+    def __init__(
+        self,
+        backend: Backend | str | None = None,
+        cache_dir: str | Path | None = None,
+        platform: "VirtualPlatform | None" = None,
+        formats: Sequence[FPFormat] = STANDARD_FORMATS,
+        _context: ExecutionContext | None = None,
+    ) -> None:
+        self._context = (
+            _context if _context is not None else ExecutionContext(backend)
+        )
+        self._cache_dir = (
+            Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        )
+        self._platform = platform
+        self.formats: tuple[FPFormat, ...] = tuple(formats)
+
+    # ------------------------------------------------------------------
+    # Owned state
+    # ------------------------------------------------------------------
+    @property
+    def context(self) -> ExecutionContext:
+        """The execution context (backend + stats state) this session owns."""
+        return self._context
+
+    @property
+    def backend(self) -> Backend:
+        return self._context.backend
+
+    @backend.setter
+    def backend(self, spec: Backend | str) -> None:
+        self._context.backend = resolve_backend(spec)
+
+    @property
+    def cache_dir(self) -> Path:
+        return self._cache_dir
+
+    @property
+    def platform(self) -> "VirtualPlatform":
+        """The virtual platform (lazily constructed, then shared)."""
+        if self._platform is None:
+            from .hardware import VirtualPlatform
+
+            self._platform = VirtualPlatform()
+        return self._platform
+
+    # ------------------------------------------------------------------
+    # Activation
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Session":
+        _sessions.active.append(self)
+        push_context(self._context)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        pop_context(self._context)
+        active = _sessions.active
+        for i in range(len(active) - 1, -1, -1):
+            if active[i] is self:
+                del active[i]
+                break
+        return False
+
+    def activate(self) -> "Session":
+        """Context manager form: ``with session.activate(): ...``."""
+        return self
+
+    # ------------------------------------------------------------------
+    # Statistics (session-scoped)
+    # ------------------------------------------------------------------
+    @contextmanager
+    def collect(self, stats: Stats | None = None) -> Iterator[Stats]:
+        """Install a collector on *this* session's context.
+
+        Works whether or not the session is currently active; ops only
+        reach the collector while the session's context is current.
+        """
+        if stats is None:
+            stats = Stats()
+        with install_collector(self._context, stats):
+            yield stats
+
+    @contextmanager
+    def vectorizable(self) -> Iterator[None]:
+        """Tag the enclosed operations as vectorizable in this session."""
+        with vector_region(self._context):
+            yield
+
+    def use_backend(self, spec: Backend | str):
+        """Temporarily swap this session's backend (stats keep flowing)."""
+        return _use_backend(spec, ctx=self._context)
+
+    # ------------------------------------------------------------------
+    # Higher layers
+    # ------------------------------------------------------------------
+    def flow(
+        self, app, type_system, precision: float, **kwargs
+    ) -> "TransprecisionFlow":
+        """A :class:`TransprecisionFlow` wired to this session.
+
+        The flow inherits the session's platform and tuning cache
+        unless overridden via ``kwargs`` (``cache_dir=None`` disables
+        caching).
+        """
+        from .flow import TransprecisionFlow
+
+        return TransprecisionFlow(
+            app, type_system, precision, session=self, **kwargs
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"Session(backend={self.backend.name!r}, "
+            f"cache_dir={str(self._cache_dir)!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Current / default session
+# ----------------------------------------------------------------------
+class _SessionStack(threading.local):
+    """Per-thread list of activated sessions (innermost last)."""
+
+    def __init__(self) -> None:
+        self.active: list[Session] = []
+
+
+_sessions = _SessionStack()
+_default_session: Session | None = None
+_default_lock = threading.Lock()
+
+
+def get_session() -> Session:
+    """The innermost active session (in this thread), or the default one.
+
+    The default session wraps the default execution context, so the
+    module-level compat shims (:func:`repro.core.collect`, ...) and the
+    default session observe the same state.
+    """
+    if _sessions.active:
+        return _sessions.active[-1]
+    global _default_session
+    with _default_lock:
+        if _default_session is None:
+            _default_session = Session(_context=default_context())
+    return _default_session
+
+
+@contextmanager
+def use_session(session: Session) -> Iterator[Session]:
+    """Functional alias for ``with session: ...``."""
+    with session:
+        yield session
+
+
+#: Re-export: temporarily swap the *current* context's backend.
+use_backend = _use_backend

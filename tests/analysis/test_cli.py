@@ -39,3 +39,29 @@ class TestDriverCommands:
     def test_bad_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["formats", "--scale", "huge"])
+
+
+class TestBackendFlag:
+    def test_fast_backend_runs(self, capsys, tmp_path):
+        code = main(
+            [
+                "motivation",
+                "--scale",
+                "small",
+                "--cache-dir",
+                str(tmp_path),
+                "--backend",
+                "fast",
+            ]
+        )
+        assert code == 0
+        assert "fleet avg" in capsys.readouterr().out
+
+    def test_backend_choices_match_registry(self):
+        from repro.core import available_backends
+
+        assert set(available_backends()) >= {"reference", "fast"}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["formats", "--backend", "turbo"])

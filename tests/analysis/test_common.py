@@ -12,6 +12,37 @@ from repro.analysis.common import (
 from repro.tuning import V1, V2
 
 
+class TestExperimentConfig:
+    def test_cache_dir_str_normalized_to_path(self, tmp_path):
+        from pathlib import Path
+
+        cfg = ExperimentConfig(cache_dir=str(tmp_path))
+        assert isinstance(cfg.cache_dir, Path)
+        assert cfg.resolved_cache_dir() == tmp_path
+
+    def test_apps_default_pinned_to_private_tuple(self):
+        import repro.apps
+
+        a, b = ExperimentConfig(), ExperimentConfig()
+        assert isinstance(a.apps, tuple) and isinstance(b.apps, tuple)
+        # Mutating one config's app list must not leak into the other
+        # (or into the module-level default).
+        a.apps = ("conv",)
+        assert b.apps == tuple(repro.apps.APP_NAMES)
+
+    def test_apps_sequence_coerced(self):
+        cfg = ExperimentConfig(apps=["conv", "knn"])
+        assert cfg.apps == ("conv", "knn")
+
+    def test_default_session_uses_resolved_cache_dir(self, tmp_path):
+        cfg = ExperimentConfig(cache_dir=tmp_path)
+        assert cfg.session.cache_dir == tmp_path
+
+    def test_backend_kwarg_reaches_session(self):
+        cfg = ExperimentConfig(backend="fast")
+        assert cfg.session.backend.name == "fast"
+
+
 class TestFormatTable:
     def test_alignment(self):
         text = format_table(["name", "value"], [["a", 1], ["bb", 22]])

@@ -1,0 +1,214 @@
+"""Quantization edge cases: subnormals, signed zeros, overflow, NaN.
+
+Parametrized round-trip checks across all standard formats, plus the
+exhaustive 2^16 bit-pattern sweep for the two 16-bit formats verifying
+that the scalar and array paths agree bit for bit (on every backend).
+"""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BINARY16,
+    BINARY16ALT,
+    STANDARD_FORMATS,
+)
+from repro.core.backend import FastNumpyBackend, ReferenceBackend
+from repro.core.quantize import (
+    decode,
+    decode_array,
+    encode,
+    encode_array,
+    quantize,
+    quantize_array,
+)
+
+FINITE_FORMATS = [f for f in STANDARD_FORMATS if f.man_bits <= 24]
+
+
+def f64_bits(x: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", x))[0]
+
+
+class TestSubnormals:
+    @pytest.mark.parametrize("fmt", STANDARD_FORMATS, ids=lambda f: f.name)
+    def test_min_subnormal_roundtrips(self, fmt):
+        tiny = fmt.min_subnormal
+        assert quantize(tiny, fmt) == tiny
+        pattern = encode(tiny, fmt)
+        assert pattern == 1  # the smallest subnormal is pattern 0b...01
+        assert decode(pattern, fmt) == tiny
+
+    @pytest.mark.parametrize("fmt", FINITE_FORMATS, ids=lambda f: f.name)
+    def test_half_min_subnormal_ties_to_even_zero(self, fmt):
+        # min_subnormal/2 is exactly between 0 and the first subnormal;
+        # ties-to-even picks 0 (even significand).
+        assert quantize(fmt.min_subnormal / 2, fmt) == 0.0
+        assert quantize(-fmt.min_subnormal / 2, fmt) == 0.0
+
+    @pytest.mark.parametrize("fmt", FINITE_FORMATS, ids=lambda f: f.name)
+    def test_above_half_min_subnormal_rounds_up(self, fmt):
+        x = np.nextafter(fmt.min_subnormal / 2, 1.0)
+        assert quantize(x, fmt) == fmt.min_subnormal
+
+    @pytest.mark.parametrize("fmt", FINITE_FORMATS, ids=lambda f: f.name)
+    def test_subnormal_ladder_exact(self, fmt):
+        # Every subnormal (k * min_subnormal) is representable.
+        for k in range(1, min(1 << fmt.man_bits, 64)):
+            x = k * fmt.min_subnormal
+            assert quantize(x, fmt) == x
+            assert decode(encode(x, fmt), fmt) == x
+
+
+class TestSignedZero:
+    @pytest.mark.parametrize("fmt", STANDARD_FORMATS, ids=lambda f: f.name)
+    def test_zero_signs_preserved(self, fmt):
+        pos, neg = quantize(0.0, fmt), quantize(-0.0, fmt)
+        assert math.copysign(1.0, pos) == 1.0
+        assert math.copysign(1.0, neg) == -1.0
+
+    @pytest.mark.parametrize("fmt", STANDARD_FORMATS, ids=lambda f: f.name)
+    def test_zero_encodings(self, fmt):
+        assert encode(0.0, fmt) == 0
+        assert encode(-0.0, fmt) == 1 << (fmt.bits - 1)
+        assert math.copysign(1.0, decode(1 << (fmt.bits - 1), fmt)) == -1.0
+
+    @pytest.mark.parametrize("fmt", FINITE_FORMATS, ids=lambda f: f.name)
+    def test_negative_underflow_keeps_sign(self, fmt):
+        out = quantize(-fmt.min_subnormal / 4, fmt)
+        assert out == 0.0 and math.copysign(1.0, out) == -1.0
+
+    @pytest.mark.parametrize("fmt", STANDARD_FORMATS, ids=lambda f: f.name)
+    def test_array_path_agrees_on_zeros(self, fmt):
+        values = np.array([0.0, -0.0])
+        out = quantize_array(values, fmt)
+        assert not np.signbit(out[0]) and np.signbit(out[1])
+
+
+class TestOverflowBoundary:
+    """IEEE RNE overflows to infinity exactly at maxfinite + ulp/2."""
+
+    @pytest.mark.parametrize("fmt", FINITE_FORMATS, ids=lambda f: f.name)
+    def test_maxfinite_stays_finite(self, fmt):
+        assert quantize(fmt.max_value, fmt) == fmt.max_value
+
+    @pytest.mark.parametrize("fmt", FINITE_FORMATS, ids=lambda f: f.name)
+    def test_boundary_rounds_to_inf(self, fmt):
+        ulp = 2.0 ** (fmt.emax - fmt.man_bits)
+        threshold = fmt.max_value + ulp / 2  # exact in float64
+        assert quantize(threshold, fmt) == math.inf
+        assert quantize(-threshold, fmt) == -math.inf
+
+    @pytest.mark.parametrize("fmt", FINITE_FORMATS, ids=lambda f: f.name)
+    def test_just_below_boundary_rounds_to_maxfinite(self, fmt):
+        ulp = 2.0 ** (fmt.emax - fmt.man_bits)
+        below = np.nextafter(fmt.max_value + ulp / 2, 0.0)
+        assert quantize(below, fmt) == fmt.max_value
+
+    @pytest.mark.parametrize("fmt", FINITE_FORMATS, ids=lambda f: f.name)
+    def test_infinities_pass_through(self, fmt):
+        assert quantize(math.inf, fmt) == math.inf
+        assert quantize(-math.inf, fmt) == -math.inf
+        inf_pattern = encode(math.inf, fmt)
+        assert decode(inf_pattern, fmt) == math.inf
+
+    @pytest.mark.parametrize("fmt", FINITE_FORMATS, ids=lambda f: f.name)
+    def test_array_path_agrees_at_boundary(self, fmt):
+        ulp = 2.0 ** (fmt.emax - fmt.man_bits)
+        threshold = fmt.max_value + ulp / 2
+        values = np.array(
+            [
+                fmt.max_value,
+                threshold,
+                -threshold,
+                np.nextafter(threshold, 0.0),
+                np.nextafter(threshold, math.inf),
+            ]
+        )
+        scalar = np.array([quantize(v, fmt) for v in values])
+        assert np.array_equal(quantize_array(values, fmt), scalar)
+
+
+class TestNaN:
+    @pytest.mark.parametrize("fmt", STANDARD_FORMATS, ids=lambda f: f.name)
+    def test_nan_stays_nan(self, fmt):
+        assert math.isnan(quantize(math.nan, fmt))
+        assert math.isnan(decode(encode(math.nan, fmt), fmt))
+
+    @pytest.mark.parametrize("fmt", FINITE_FORMATS, ids=lambda f: f.name)
+    def test_nan_encodes_as_quiet_nan(self, fmt):
+        pattern = encode(math.nan, fmt)
+        exp_all_ones = (1 << fmt.exp_bits) - 1
+        assert (pattern >> fmt.man_bits) & exp_all_ones == exp_all_ones
+        if fmt.man_bits > 0:
+            assert pattern & (1 << (fmt.man_bits - 1))  # quiet bit
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("fmt", STANDARD_FORMATS, ids=lambda f: f.name)
+    def test_decode_encode_random(self, fmt):
+        """decode(encode(x)) equals quantize(x) for arbitrary doubles."""
+        rng = np.random.default_rng(31)
+        values = np.concatenate(
+            [
+                rng.normal(0, 100, 300),
+                rng.uniform(-1, 1, 300)
+                * 10.0 ** rng.integers(-40, 40, 300).astype(np.float64),
+            ]
+        )
+        for x in values:
+            q = quantize(float(x), fmt)
+            back = decode(encode(float(x), fmt), fmt)
+            assert back == q or (back != back and q != q)
+
+
+class TestExhaustive16BitSweep:
+    """All 2^16 bit patterns of the two 16-bit formats, scalar vs array."""
+
+    @pytest.mark.parametrize(
+        "fmt", (BINARY16, BINARY16ALT), ids=lambda f: f.name
+    )
+    def test_every_pattern(self, fmt):
+        patterns = np.arange(1 << 16, dtype=np.uint64)
+        decoded = decode_array(patterns, fmt)
+        scalar_decoded = np.array(
+            [decode(int(p), fmt) for p in patterns]
+        )
+        # Vector and scalar decode agree bit for bit.
+        assert np.array_equal(
+            decoded.view(np.uint64)[~np.isnan(decoded)],
+            np.asarray(scalar_decoded).view(np.uint64)[
+                ~np.isnan(scalar_decoded)
+            ],
+        )
+        assert np.array_equal(np.isnan(decoded), np.isnan(scalar_decoded))
+
+        # Every representable value is a fixed point of quantize, on the
+        # scalar path, the reference array path and the fast array path.
+        finite = np.isfinite(decoded)
+        ref = ReferenceBackend()
+        fast = FastNumpyBackend()
+        for backend_out in (
+            ref.quantize_array(decoded, fmt),
+            fast.quantize_array(decoded, fmt),
+        ):
+            assert np.array_equal(
+                backend_out.view(np.uint64)[finite],
+                decoded.view(np.uint64)[finite],
+            )
+        sample = decoded[finite][::17]  # scalar loop on a stride
+        for x in sample:
+            assert f64_bits(quantize(float(x), fmt)) == f64_bits(float(x))
+
+        # encode round-trips every non-NaN pattern to itself (NaN
+        # canonicalizes to the quiet pattern).
+        re_encoded = encode_array(decoded, fmt)
+        nan_mask = np.isnan(decoded)
+        assert np.array_equal(re_encoded[~nan_mask], patterns[~nan_mask])
+        quiet = (((1 << fmt.exp_bits) - 1) << fmt.man_bits) | (
+            1 << (fmt.man_bits - 1)
+        )
+        assert np.all(re_encoded[nan_mask] == quiet)
