@@ -24,11 +24,22 @@ from . import (
     summary,
     table1,
 )
-from .common import ExperimentConfig, flow_result
+from .common import (
+    ExperimentConfig,
+    default_grid,
+    flow_result,
+    flow_specs,
+    prefetch,
+    report_result,
+)
 
 __all__ = [
     "ExperimentConfig",
     "flow_result",
+    "report_result",
+    "prefetch",
+    "flow_specs",
+    "default_grid",
     "motivation",
     "table1",
     "fig4",

@@ -13,59 +13,47 @@
 
 from __future__ import annotations
 
-from repro.apps import make_app
-from repro.core import BINARY16, BINARY16ALT, BINARY32
-from repro.flow import TransprecisionFlow
-from repro.hardware import Kind, Program, VirtualPlatform
-from repro.tuning import MAX_PRECISION_BITS, V1, V2, TypeSystem
+from repro.runner import strip_casts as _strip_casts  # noqa: F401  (compat)
+from repro.tuning import V1, V2, V2_NO8
 
-from .common import ExperimentConfig, flow_result, format_table
-
-__all__ = ["compute", "render", "V2_NO8"]
-
-#: V2 without binary8: the narrowest interval folds into binary16alt.
-V2_NO8 = TypeSystem(
-    "V2no8",
-    (
-        (8, BINARY16ALT),
-        (11, BINARY16),
-        (MAX_PRECISION_BITS, BINARY32),
-    ),
+from .common import (
+    ExperimentConfig,
+    flow_result,
+    flow_specs,
+    format_table,
+    prefetch,
+    report_result,
 )
 
-
-def _strip_casts(program: Program) -> Program:
-    kept = [i for i in program.instrs if i.kind != Kind.CAST]
-    return Program(program.name, kept, program.arrays)
+__all__ = ["compute", "render", "V2_NO8"]
 
 
 def compute(cfg: ExperimentConfig | None = None) -> dict:
     cfg = cfg or ExperimentConfig()
-    platform = cfg.session.platform
-    fast16 = VirtualPlatform(
-        fp_latency_override={"binary16": 1, "binary16alt": 1}
-    )
     precision = 1e-1
+    specs = flow_specs(cfg, (V2, V2_NO8, V1), precisions=(precision,))
+    for app_name in cfg.apps:
+        specs.append(
+            cfg.runner.report_spec("castless", app_name, V2, precision)
+        )
+        specs.append(
+            cfg.runner.report_spec("fast16", app_name, V2, precision)
+        )
+    prefetch(cfg, specs)
     result: dict = {"rows": {}}
 
     for app_name in cfg.apps:
         flow = flow_result(cfg, app_name, V2, precision)
-        app = make_app(app_name, cfg.scale)
         base_energy = flow.baseline_report.energy_pj
 
         # 1. cast-free bound
-        tuned_program = app.build_program(flow.binding, 0, vectorize=True)
-        castless = platform.run(_strip_casts(tuned_program))
+        castless = report_result(cfg, "castless", app_name, V2, precision)
 
-        # 2. no-binary8 type system (own tuning cache entry)
-        no8_flow = TransprecisionFlow(
-            make_app(app_name, cfg.scale), V2_NO8, precision,
-            cache_dir=cfg.resolved_cache_dir(),
-            session=cfg.session,
-        ).run()
+        # 2. no-binary8 type system (own tuning cache + store entries)
+        no8_flow = flow_result(cfg, app_name, V2_NO8, precision)
 
         # 3. 16-bit latency 1
-        fast = fast16.run(tuned_program)
+        fast = report_result(cfg, "fast16", app_name, V2, precision)
 
         # 4. V1 binding
         v1_flow = flow_result(cfg, app_name, V1, precision)

@@ -2,8 +2,17 @@
 
 Each driver (table1, fig4-fig7, motivation, summary, ablation) exposes
 ``compute(config) -> dict`` and ``render(result) -> str``; this module
-provides the configuration object, cached flow execution, and plain-text
-table/bar rendering used by all of them.
+provides the configuration object, runner-backed flow/report access,
+grid prefetching, and the plain-text table/bar rendering they share.
+
+Every experiment executes through the config's
+:class:`~repro.runner.ExperimentRunner`: results come from (in order)
+the runner's in-memory memo, the persistent on-disk result store, or a
+fresh computation -- in-process when ``cfg.jobs <= 1``, across a worker
+pool otherwise.  Drivers prefetch their whole grid in one
+:func:`prefetch` call, so a ``--jobs N`` run shards the expensive flows
+across N processes while the driver code below stays a plain loop over
+cache hits.
 """
 
 from __future__ import annotations
@@ -12,15 +21,23 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
-from repro.apps import APP_NAMES, make_app
+from repro.apps import APP_NAMES
 from repro.core.backend import Backend
-from repro.flow import FlowResult, TransprecisionFlow
+from repro.flow import FlowResult
+from repro.hardware import RunReport
+from repro.runner import ExperimentRunner, JobSpec
 from repro.session import Session
 from repro.tuning import V1, V2, TypeSystem
+from repro.tuning import type_system as _type_system
 
 __all__ = [
     "ExperimentConfig",
     "flow_result",
+    "report_result",
+    "prefetch",
+    "flow_specs",
+    "pca_manual_specs",
+    "default_grid",
     "type_system_by_name",
     "format_table",
     "bar",
@@ -38,7 +55,13 @@ class ExperimentConfig:
     Every config owns (or is handed) a :class:`repro.session.Session`;
     all flows the drivers run execute under it, so the backend choice,
     the statistics state, the tuning cache and the virtual platform are
-    decided in exactly one place.
+    decided in exactly one place.  The config also owns an
+    :class:`~repro.runner.ExperimentRunner` (built lazily) through which
+    every flow and derived platform report is fetched.
+
+    Equality compares the *knobs* only: the session, the runner and the
+    flow memo are execution state derived from the knobs, so two configs
+    with identical knobs compare equal even after one has run flows.
     """
 
     scale: str = "paper"
@@ -48,14 +71,29 @@ class ExperimentConfig:
     #: Backend name/instance used when constructing the default session;
     #: ignored when an explicit ``session`` is passed.
     backend: Backend | str = "reference"
-    session: Session | None = None
+    #: Result-store root (default: ``<cache_dir>/store`` when a cache
+    #: dir is given, else ``./results/store``).
+    store_dir: Path | None = None
+    #: Worker processes for grid prefetches; ``<= 1`` stays in-process.
+    jobs: int = 1
+    session: Session | None = field(default=None, compare=False)
+    #: Per-job progress callback forwarded to the runner.
+    progress: object = field(default=None, repr=False, compare=False)
     #: Cached flow results, keyed by (app, type system, precision).
-    _flows: dict = field(default_factory=dict, repr=False)
+    #: Execution state, not a knob: excluded from equality so a config
+    #: that has run flows still equals a fresh one with the same knobs.
+    _flows: dict = field(default_factory=dict, repr=False, compare=False)
+    _runner: ExperimentRunner | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
-        # The CLI (and any str-typed caller) may pass a plain string.
+        # The CLI (and any str-typed caller) may pass plain strings.
         if self.cache_dir is not None:
             self.cache_dir = Path(self.cache_dir)
+        if self.store_dir is not None:
+            self.store_dir = Path(self.store_dir)
+        self.jobs = max(1, int(self.jobs))
         # Pin to an immutable copy so a shared mutable sequence cannot
         # leak between configs (and keys/repr stay stable).
         self.apps = tuple(self.apps)
@@ -72,15 +110,42 @@ class ExperimentConfig:
             return self.session.cache_dir
         return Path.cwd() / "results" / "tuning"
 
+    def resolved_store_dir(self) -> Path:
+        """Where this config's result store lives.
+
+        An explicit ``store_dir`` wins; otherwise the store nests under
+        an explicit tuning-cache dir (keeping tests and ad-hoc runs
+        self-contained); otherwise ``./results/store``.
+        """
+        if self.store_dir is not None:
+            return Path(self.store_dir)
+        if self.cache_dir is not None:
+            return Path(self.cache_dir) / "store"
+        return Path.cwd() / "results" / "store"
+
+    @property
+    def runner(self) -> ExperimentRunner:
+        """The experiment engine every driver fetches results through."""
+        if self._runner is None:
+            self._runner = ExperimentRunner(
+                session=self.session,
+                scale=self.scale,
+                store_dir=self.resolved_store_dir(),
+                cache_dir=self.resolved_cache_dir(),
+                jobs=self.jobs,
+                progress=self.progress,
+            )
+        return self._runner
+
 
 def type_system_by_name(name: str) -> TypeSystem:
-    if name.upper() == "V1":
-        return V1
-    if name.upper() == "V2":
-        return V2
-    raise KeyError(f"unknown type system {name!r} (use V1 or V2)")
+    """Resolve a registered type system (V1, V2, V2no8, ...) by name."""
+    return _type_system(name)
 
 
+# ----------------------------------------------------------------------
+# Runner-backed result access
+# ----------------------------------------------------------------------
 def flow_result(
     cfg: ExperimentConfig,
     app_name: str,
@@ -89,21 +154,91 @@ def flow_result(
 ) -> FlowResult:
     """Run (or fetch) the five-step flow for one configuration.
 
-    Flows execute under ``cfg.session`` (its backend, stats scope,
-    platform and tuning cache).
+    A thin view over ``cfg.runner``: the result comes from the runner's
+    memo, the persistent store, or a fresh run under ``cfg.session``.
     """
-    key = (app_name, type_system.name, precision)
+    key = (app_name, _type_system(type_system).name, precision)
     if key not in cfg._flows:
-        app = make_app(app_name, cfg.scale)
-        flow = TransprecisionFlow(
-            app,
-            type_system,
-            precision,
-            cache_dir=cfg.resolved_cache_dir(),
-            session=cfg.session,
-        )
-        cfg._flows[key] = flow.run()
+        cfg._flows[key] = cfg.runner.flow(app_name, type_system, precision)
     return cfg._flows[key]
+
+
+def report_result(
+    cfg: ExperimentConfig,
+    variant: str,
+    app_name: str,
+    type_system: "TypeSystem | str | None" = None,
+    precision: float = 0.0,
+) -> RunReport:
+    """A derived platform report (baseline, castless, fast16, ...)."""
+    return cfg.runner.report(variant, app_name, type_system, precision)
+
+
+def flow_specs(
+    cfg: ExperimentConfig,
+    type_systems: Sequence["TypeSystem | str"],
+    precisions: Sequence[float] | None = None,
+    apps: Sequence[str] | None = None,
+) -> list[JobSpec]:
+    """Flow jobs for a (sub)grid of this config."""
+    return cfg.runner.grid(
+        apps if apps is not None else cfg.apps,
+        type_systems,
+        precisions if precisions is not None else cfg.precisions,
+    )
+
+
+def prefetch(cfg: ExperimentConfig, specs: Sequence[JobSpec]) -> None:
+    """Warm the config's runner for a grid in one (parallel) call.
+
+    With ``cfg.jobs > 1`` the missing jobs shard across a process pool;
+    afterwards every :func:`flow_result`/:func:`report_result` the
+    driver performs is a memo hit.  With ``jobs <= 1`` this is a no-op
+    in spirit: jobs compute lazily exactly as the serial drivers always
+    did, so nothing runs twice either way.
+    """
+    if cfg.jobs > 1:
+        cfg.runner.run(specs)
+
+
+def pca_manual_specs(cfg: ExperimentConfig) -> list[JobSpec]:
+    """Fig. 7's manual-vectorization series: the PCA flows plus the
+    hand-vectorized replays, one per precision requirement.
+
+    Shared by fig7, summary, export and :func:`default_grid` so their
+    prefetches cannot drift from what ``fig7.compute`` actually fetches.
+    """
+    runner = cfg.runner
+    specs: list[JobSpec] = []
+    for precision in cfg.precisions:
+        specs.append(runner.flow_spec("pca", V2, precision))
+        specs.append(
+            runner.report_spec("pca_manual", "pca", V2, precision)
+        )
+    return specs
+
+
+def default_grid(cfg: ExperimentConfig) -> list[JobSpec]:
+    """Every job ``repro all`` consumes, for store warm-up.
+
+    Covers the V2 grid over the config's apps and precisions (fig4-7),
+    the V1 and V2no8 columns at 1e-1 (table1 and the ablations), the
+    PCA flows behind Fig. 7's manual-vectorization series, and all
+    derived platform reports (motivation baselines, ablation
+    castless/fast16, PCA manual vectorization).
+    """
+    runner = cfg.runner
+    specs: list[JobSpec] = []
+    specs += flow_specs(cfg, [V2])
+    # table1 and the ablations pin precision 1e-1 regardless of
+    # cfg.precisions; V2@1e-1 dedupes when it is already in the grid.
+    specs += flow_specs(cfg, [V2, V1, "V2no8"], precisions=(1e-1,))
+    specs += pca_manual_specs(cfg)
+    specs += [runner.report_spec("baseline", app) for app in cfg.apps]
+    for app in cfg.apps:
+        specs.append(runner.report_spec("castless", app, V2, 1e-1))
+        specs.append(runner.report_spec("fast16", app, V2, 1e-1))
+    return list(dict.fromkeys(specs))
 
 
 # ----------------------------------------------------------------------

@@ -12,8 +12,10 @@ import csv
 import json
 from pathlib import Path
 
+from repro.tuning import V1, V2
+
 from . import fig4, fig5, fig6, fig7, motivation, table1
-from .common import ExperimentConfig
+from .common import ExperimentConfig, flow_specs, pca_manual_specs, prefetch
 
 __all__ = ["export_all", "write_csv"]
 
@@ -39,6 +41,12 @@ def export_all(
 ) -> list[Path]:
     """Run every figure/table driver and dump JSON + CSV artifacts."""
     cfg = cfg or ExperimentConfig()
+    # One parallel wave over the union of every exported driver's grid.
+    specs = flow_specs(cfg, (V2,))
+    specs += flow_specs(cfg, (V1, V2), precisions=(1e-1,))
+    specs += pca_manual_specs(cfg)
+    specs += [cfg.runner.report_spec("baseline", app) for app in cfg.apps]
+    prefetch(cfg, specs)
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []

@@ -20,7 +20,13 @@ from __future__ import annotations
 from repro.apps import make_app
 from repro.tuning import V2
 
-from .common import ExperimentConfig, PRECISION_LABELS, flow_result
+from .common import (
+    ExperimentConfig,
+    PRECISION_LABELS,
+    flow_result,
+    flow_specs,
+    prefetch,
+)
 
 __all__ = ["compute", "render"]
 
@@ -31,6 +37,7 @@ MAX_COLUMN = 12
 def compute(cfg: ExperimentConfig | None = None) -> dict:
     """Histogram of memory locations per precision-bit column (V2)."""
     cfg = cfg or ExperimentConfig()
+    prefetch(cfg, flow_specs(cfg, (V2,)))
     result: dict = {"matrix": {}, "bands": {"binary8": (1, 3),
                                             "binary16alt": (4, 8),
                                             "binary16": (9, 11),

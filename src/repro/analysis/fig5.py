@@ -20,7 +20,9 @@ from .common import (
     PRECISION_LABELS,
     bar,
     flow_result,
+    flow_specs,
     format_table,
+    prefetch,
 )
 
 __all__ = ["compute", "render"]
@@ -31,6 +33,7 @@ FORMAT_ORDER = ("binary8", "binary16", "binary16alt", "binary32")
 def compute(cfg: ExperimentConfig | None = None) -> dict:
     """Per (app, precision): op fractions by format x {scalar, vector}."""
     cfg = cfg or ExperimentConfig()
+    prefetch(cfg, flow_specs(cfg, (V2,)))
     result: dict = {"breakdown": {}}
     for precision in cfg.precisions:
         per_app = {}

@@ -21,7 +21,9 @@ from .common import (
     PRECISION_LABELS,
     bar,
     flow_result,
+    flow_specs,
     format_table,
+    prefetch,
 )
 
 __all__ = ["compute", "render", "PAPER_CLAIMS"]
@@ -39,6 +41,7 @@ OUTLIERS = ("jacobi", "pca")
 
 def compute(cfg: ExperimentConfig | None = None) -> dict:
     cfg = cfg or ExperimentConfig()
+    prefetch(cfg, flow_specs(cfg, (V2,)))
     result: dict = {"rows": {}, "averages": {}}
     cycle_ratios = []
     memory_ratios = []

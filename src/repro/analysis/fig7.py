@@ -16,7 +16,6 @@ Headline numbers from the paper:
 
 from __future__ import annotations
 
-from repro.apps import PcaApp, make_app
 from repro.tuning import V2
 
 from .common import (
@@ -24,7 +23,11 @@ from .common import (
     PRECISION_LABELS,
     bar,
     flow_result,
+    flow_specs,
     format_table,
+    pca_manual_specs,
+    prefetch,
+    report_result,
 )
 
 __all__ = ["compute", "render", "PAPER_CLAIMS"]
@@ -40,6 +43,7 @@ PAPER_CLAIMS = {
 
 def compute(cfg: ExperimentConfig | None = None) -> dict:
     cfg = cfg or ExperimentConfig()
+    prefetch(cfg, flow_specs(cfg, (V2,)) + pca_manual_specs(cfg))
     result: dict = {"rows": {}, "pca_manual": {}, "averages": {}}
     ratios = []
     for precision in cfg.precisions:
@@ -59,10 +63,9 @@ def compute(cfg: ExperimentConfig | None = None) -> dict:
 
         # PCA with manual vectorization, same binding (labels 1-3).
         flow = flow_result(cfg, "pca", V2, precision)
-        manual = PcaApp(cfg.scale, manual_vectorize=True)
-        with cfg.session:
-            program = manual.build_program(flow.binding, 0, vectorize=True)
-        manual_report = cfg.session.platform.run(program)
+        manual_report = report_result(
+            cfg, "pca_manual", "pca", V2, precision
+        )
         result["pca_manual"][precision] = (
             manual_report.energy_pj / flow.baseline_report.energy_pj
         )

@@ -9,9 +9,7 @@ baselines of all six applications.
 
 from __future__ import annotations
 
-from repro.apps import make_app
-
-from .common import ExperimentConfig, format_table
+from .common import ExperimentConfig, format_table, prefetch, report_result
 
 __all__ = ["compute", "render", "PAPER_CLAIMS"]
 
@@ -20,15 +18,14 @@ PAPER_CLAIMS = {"fp": 0.30, "mem": 0.20}
 
 def compute(cfg: ExperimentConfig | None = None) -> dict:
     cfg = cfg or ExperimentConfig()
-    platform = cfg.session.platform
+    prefetch(
+        cfg,
+        [cfg.runner.report_spec("baseline", app) for app in cfg.apps],
+    )
     result: dict = {"per_app": {}, "fleet": {}}
     sums = {"fp": 0.0, "mem": 0.0, "other": 0.0}
     for app_name in cfg.apps:
-        app = make_app(app_name, cfg.scale)
-        program = app.build_program(
-            app.baseline_binding(), 0, vectorize=False
-        )
-        report = platform.run(program)
+        report = report_result(cfg, "baseline", app_name)
         fractions = report.energy.fractions()
         result["per_app"][app_name] = {
             **fractions,

@@ -10,14 +10,25 @@ Aggregates the Fig. 5/6/7 drivers into the abstract's claims:
 
 from __future__ import annotations
 
+from repro.tuning import V2
+
 from . import fig5, fig6, fig7
-from .common import ExperimentConfig, format_table
+from .common import (
+    ExperimentConfig,
+    flow_specs,
+    format_table,
+    pca_manual_specs,
+    prefetch,
+)
 
 __all__ = ["compute", "render"]
 
 
 def compute(cfg: ExperimentConfig | None = None) -> dict:
     cfg = cfg or ExperimentConfig()
+    # One parallel wave covering the union of the fig5/6/7 grids; the
+    # sub-drivers' own prefetches then resolve as memo hits.
+    prefetch(cfg, flow_specs(cfg, (V2,)) + pca_manual_specs(cfg))
     ops = fig5.compute(cfg)
     timing = fig6.compute(cfg)
     energy = fig7.compute(cfg)

@@ -19,7 +19,7 @@ from collections import Counter
 from repro.apps import make_app
 from repro.tuning import V1, V2
 
-from .common import ExperimentConfig, flow_result, format_table
+from .common import ExperimentConfig, flow_result, flow_specs, format_table, prefetch
 
 __all__ = ["compute", "render", "PAPER_TABLE1"]
 
@@ -35,6 +35,7 @@ FORMAT_ORDER = ("binary8", "binary16", "binary16alt", "binary32")
 def compute(cfg: ExperimentConfig | None = None) -> dict:
     """Tune every app at 10^-1 under V1 and V2; count variables/locations."""
     cfg = cfg or ExperimentConfig()
+    prefetch(cfg, flow_specs(cfg, (V1, V2), precisions=(1e-1,)))
     result: dict = {"per_app": {}, "totals": {}, "locations": {}}
     for ts in (V1, V2):
         totals: Counter = Counter()

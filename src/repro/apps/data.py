@@ -5,8 +5,10 @@ are reproducible and multiple *input sets* exist for the tuner's
 statistical refinement phase (paper §II: precision bindings from
 different input sets are joined in a second phase).
 
-Two problem scales are provided: ``small`` keeps unit tests and
-benchmarks fast; ``paper`` is the size used by the experiment drivers.
+Three problem scales are provided: ``tiny`` exists for parallel-runner
+smoke tests and CI grid warm-ups (every app completes in well under a
+second); ``small`` keeps unit tests and benchmarks fast; ``paper`` is
+the size used by the experiment drivers.
 """
 
 from __future__ import annotations
@@ -42,6 +44,17 @@ class AppScale:
 
 
 SCALES: dict[str, AppScale] = {
+    "tiny": AppScale(
+        name="tiny",
+        # Feature dims stay multiples of four so packed binary8 loops
+        # chunk evenly into SIMD lanes.
+        jacobi_n=6, jacobi_iters=6,
+        knn_points=48, knn_dims=8, knn_k=3,
+        pca_samples=16, pca_dims=4, pca_iters=8,
+        dwt_length=64, dwt_levels=2,
+        svm_vectors=12, svm_dims=8, svm_classes=2, svm_queries=3,
+        conv_size=8, conv_kernel=5,
+    ),
     "small": AppScale(
         name="small",
         jacobi_n=12, jacobi_iters=10,

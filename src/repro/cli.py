@@ -9,6 +9,11 @@ Examples::
     python -m repro fig4 fig5 fig6 fig7
     python -m repro summary            # headline claims, paper vs ours
     python -m repro all --scale paper
+
+    # Warm the persistent result store for the whole experiment grid
+    # across 4 worker processes; any driver afterwards is pure cache
+    # hits (including `repro all`):
+    python -m repro run --scale paper --jobs 4
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ import time
 from repro.analysis import (
     ExperimentConfig,
     ablation,
+    default_grid,
     fig4,
     fig5,
     fig6,
@@ -98,6 +104,37 @@ def _render_fpu() -> str:
     return "\n".join(lines)
 
 
+def _progress_printer(index, total, spec, status, seconds) -> None:
+    """Per-job progress line for ``repro run``."""
+    width = len(str(total))
+    label = {"memo": "memo ", "hit": "hit  ", "run": "ran  "}[status]
+    print(
+        f"  [{index:{width}d}/{total}] {label}{spec.describe():44s}"
+        f" {seconds:6.1f}s",
+        flush=True,
+    )
+
+
+def _run_grid(cfg: ExperimentConfig) -> None:
+    """The ``repro run`` subcommand: warm the store for the full grid."""
+    specs = default_grid(cfg)
+    runner = cfg.runner
+    print(
+        f"repro run: {len(specs)} jobs "
+        f"(scale {cfg.scale}, jobs {cfg.jobs}, "
+        f"store {runner.store.root})"
+    )
+    runner.run(specs)
+    counters = runner.counters
+    print(
+        f"store warm: {counters.computed} computed, "
+        f"{counters.store_hits} store hits, "
+        f"{counters.memo_hits} memo hits "
+        f"({len(runner.store.entries())} files in "
+        f"{runner.store.version_dir})"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -109,19 +146,51 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        choices=_ORDER + ["all"],
-        help="which table/figure to regenerate",
+        choices=_ORDER + ["all", "run"],
+        help=(
+            "which table/figure to regenerate; 'run' warms the "
+            "persistent result store for the whole experiment grid"
+        ),
     )
     parser.add_argument(
         "--scale",
         default="paper",
-        choices=("small", "paper"),
-        help="problem scale (small: fast smoke runs; paper: full runs)",
+        choices=("tiny", "small", "paper"),
+        help=(
+            "problem scale (tiny: CI/smoke grid warm-ups; "
+            "small: fast smoke runs; paper: full runs)"
+        ),
     )
     parser.add_argument(
         "--cache-dir",
         default=None,
         help="tuning-result cache directory (default: ./results/tuning)",
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        help=(
+            "persistent result-store directory "
+            "(default: ./results/store, or <cache-dir>/store)"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for experiment grids; 1 (default) runs "
+            "everything in-process"
+        ),
+    )
+    parser.add_argument(
+        "--apps",
+        default=None,
+        help=(
+            "comma-separated subset of applications "
+            "(default: all six evaluation kernels)"
+        ),
     )
     parser.add_argument(
         "--backend",
@@ -137,11 +206,22 @@ def main(argv: list[str] | None = None) -> int:
 
     wanted = list(args.experiments)
     if "all" in wanted:
-        wanted = _ORDER
+        wanted = [name for name in wanted if name != "all"] + [
+            name for name in _ORDER if name not in wanted
+        ]
     session = Session(backend=args.backend, cache_dir=args.cache_dir)
-    cfg = ExperimentConfig(
-        scale=args.scale, cache_dir=args.cache_dir, session=session
+    config_kwargs = dict(
+        scale=args.scale,
+        cache_dir=args.cache_dir,
+        store_dir=args.store_dir,
+        jobs=args.jobs,
+        session=session,
     )
+    if args.apps:
+        config_kwargs["apps"] = tuple(
+            name.strip() for name in args.apps.split(",") if name.strip()
+        )
+    cfg = ExperimentConfig(**config_kwargs)
 
     for name in wanted:
         start = time.time()
@@ -149,6 +229,12 @@ def main(argv: list[str] | None = None) -> int:
             print(_render_formats())
         elif name == "fpu":
             print(_render_fpu())
+        elif name == "run":
+            cfg.progress = _progress_printer
+            cfg.runner.progress = _progress_printer
+            _run_grid(cfg)
+            cfg.progress = None
+            cfg.runner.progress = None
         elif name == "export":
             from repro.analysis.export import export_all
 

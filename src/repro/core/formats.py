@@ -134,6 +134,24 @@ class FPFormat:
         return 20.0 * math.log10(self.max_value / self.min_normal)
 
     # ------------------------------------------------------------------
+    # Serialization (result store / experiment runner)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> list:
+        """JSON-able description, ``[exp_bits, man_bits, name]``.
+
+        Round-trips anonymous formats too, unlike a name-only encoding.
+        """
+        return [self.exp_bits, self.man_bits, self.name]
+
+    @classmethod
+    def from_payload(cls, payload) -> "FPFormat":
+        """Inverse of :meth:`to_payload` (also accepts a bare name)."""
+        if isinstance(payload, str):
+            return format_by_name(payload)
+        exp_bits, man_bits, name = payload
+        return cls(int(exp_bits), int(man_bits), name=str(name))
+
+    # ------------------------------------------------------------------
     # Relationships between formats
     # ------------------------------------------------------------------
     def covers(self, other: "FPFormat") -> bool:

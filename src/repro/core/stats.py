@@ -148,6 +148,53 @@ class Stats:
         self.ops.clear()
         self.casts.clear()
 
+    # ------------------------------------------------------------------
+    # Serialization (result store / experiment runner)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-able dict; :meth:`from_payload` restores an equal object.
+
+        Counter keys are dataclasses; they flatten to ``[field..., count]``
+        rows (sorted for stable files).
+        """
+        return {
+            "ops": [
+                [key.fmt, key.op, key.vector, n]
+                for key, n in sorted(
+                    self.ops.items(),
+                    key=lambda item: (
+                        item[0].fmt, item[0].op, item[0].vector,
+                    ),
+                )
+            ],
+            "casts": [
+                [key.src, key.dst, key.vector, n]
+                for key, n in sorted(
+                    self.casts.items(),
+                    key=lambda item: (
+                        item[0].src, item[0].dst, item[0].vector,
+                    ),
+                )
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Stats":
+        stats = cls()
+        stats.ops = Counter(
+            {
+                OpKey(fmt, op, bool(vector)): int(n)
+                for fmt, op, vector, n in payload["ops"]
+            }
+        )
+        stats.casts = Counter(
+            {
+                CastKey(src, dst, bool(vector)): int(n)
+                for src, dst, vector, n in payload["casts"]
+            }
+        )
+        return stats
+
 
 # ----------------------------------------------------------------------
 # Collection shims over the current execution context

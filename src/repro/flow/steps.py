@@ -33,7 +33,7 @@ import json
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.core import Stats
+from repro.core import FPFormat, Stats
 from repro.hardware import Program, RunReport, VirtualPlatform
 from repro.session import Session, get_session
 from repro.tuning import (
@@ -43,6 +43,7 @@ from repro.tuning import (
     precision_to_sqnr_db,
 )
 from repro.apps import TransprecisionApp
+from repro.util import write_json_atomic
 
 __all__ = ["FlowResult", "TransprecisionFlow", "default_cache_dir"]
 
@@ -83,6 +84,49 @@ class FlowResult:
     @property
     def energy_ratio(self) -> float:
         return self.tuned_report.energy_pj / self.baseline_report.energy_pj
+
+    # ------------------------------------------------------------------
+    # Serialization (result store / experiment runner)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-able dict capturing everything the drivers consume.
+
+        ``FlowResult.from_payload(result.to_payload())`` compares equal
+        to ``result`` (floats round-trip bit-exactly through json), so a
+        flow computed in a worker process and read back from the result
+        store is indistinguishable from one computed in-process.
+        """
+        return {
+            "app": self.app,
+            "type_system": self.type_system,
+            "precision": self.precision,
+            "tuning": self.tuning.to_payload(),
+            "binding": {
+                name: fmt.to_payload()
+                for name, fmt in self.binding.items()
+            },
+            "stats": self.stats.to_payload(),
+            "baseline_report": self.baseline_report.to_payload(),
+            "tuned_report": self.tuned_report.to_payload(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FlowResult":
+        return cls(
+            app=payload["app"],
+            type_system=payload["type_system"],
+            precision=float(payload["precision"]),
+            tuning=TuningResult.from_payload(payload["tuning"]),
+            binding={
+                name: FPFormat.from_payload(fmt)
+                for name, fmt in payload["binding"].items()
+            },
+            stats=Stats.from_payload(payload["stats"]),
+            baseline_report=RunReport.from_payload(
+                payload["baseline_report"]
+            ),
+            tuned_report=RunReport.from_payload(payload["tuned_report"]),
+        )
 
 
 class TransprecisionFlow:
@@ -156,40 +200,14 @@ class TransprecisionFlow:
         path = self._cache_path()
         if path is not None and path.exists():
             # Cache hits need no session: nothing is executed.
-            payload = json.loads(path.read_text())
-            return TuningResult(
-                program=payload["program"],
-                type_system=payload["type_system"],
-                target_db=payload["target_db"],
-                precision={
-                    k: int(v) for k, v in payload["precision"].items()
-                },
-                achieved_db={
-                    int(k): float(v)
-                    for k, v in payload["achieved_db"].items()
-                },
-                evaluations=payload["evaluations"],
-            )
+            return TuningResult.from_payload(json.loads(path.read_text()))
         search = DistributedSearch(self.app, self.type_system, self.target_db)
         with self._session():
             result = search.tune(input_ids)
         if path is not None:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(
-                json.dumps(
-                    {
-                        "program": result.program,
-                        "type_system": result.type_system,
-                        "target_db": result.target_db,
-                        "precision": result.precision,
-                        "achieved_db": {
-                            str(k): v for k, v in result.achieved_db.items()
-                        },
-                        "evaluations": result.evaluations,
-                    },
-                    indent=2,
-                )
-            )
+            # Atomic write: parallel runner workers share this cache, and
+            # a reader must never see a half-written JSON.
+            write_json_atomic(path, result.to_payload())
         return result
 
     # ------------------------------------------------------------------

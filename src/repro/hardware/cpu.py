@@ -39,6 +39,30 @@ class Timing:
     def add_class_cycles(self, cls: str, n: int) -> None:
         self.cycles_by_class[cls] = self.cycles_by_class.get(cls, 0) + n
 
+    # ------------------------------------------------------------------
+    # Serialization (result store / experiment runner)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-able dict; :meth:`from_payload` restores an equal object."""
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "stall_cycles": self.stall_cycles,
+            "cycles_by_class": dict(self.cycles_by_class),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Timing":
+        return cls(
+            cycles=int(payload["cycles"]),
+            instructions=int(payload["instructions"]),
+            stall_cycles=int(payload["stall_cycles"]),
+            cycles_by_class={
+                str(k): int(v)
+                for k, v in payload["cycles_by_class"].items()
+            },
+        )
+
 
 def _result_latency(
     instr: Instr, fp_latency_override: dict[str, int] | None = None

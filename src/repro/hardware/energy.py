@@ -56,6 +56,25 @@ class EnergyBreakdown:
             "other": self.other_pj / total,
         }
 
+    # ------------------------------------------------------------------
+    # Serialization (result store / experiment runner)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-able dict; floats round-trip bit-exactly through json."""
+        return {
+            "fp_pj": self.fp_pj,
+            "mem_pj": self.mem_pj,
+            "other_pj": self.other_pj,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "EnergyBreakdown":
+        return cls(
+            fp_pj=float(payload["fp_pj"]),
+            mem_pj=float(payload["mem_pj"]),
+            other_pj=float(payload["other_pj"]),
+        )
+
 
 @dataclass(frozen=True)
 class EnergyModel:
@@ -77,6 +96,36 @@ class EnergyModel:
     issue_pj: float = 10.0
     stall_pj: float = 3.0
     dmem_access_pj: float = 12.5
+
+    # ------------------------------------------------------------------
+    # Serialization (worker-session bootstrap)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-able constants, rebuildable with :meth:`from_payload`.
+
+        Only plain :class:`EnergyModel` instances can cross a process
+        boundary: a behavioural subclass cannot be reconstructed from
+        its constants alone, so it is refused rather than silently
+        flattened.
+        """
+        if type(self) is not EnergyModel:
+            raise TypeError(
+                f"{type(self).__name__} cannot be serialized; only "
+                "plain EnergyModel instances cross process boundaries"
+            )
+        return {
+            "issue_pj": self.issue_pj,
+            "stall_pj": self.stall_pj,
+            "dmem_access_pj": self.dmem_access_pj,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "EnergyModel":
+        return cls(
+            issue_pj=float(payload["issue_pj"]),
+            stall_pj=float(payload["stall_pj"]),
+            dmem_access_pj=float(payload["dmem_access_pj"]),
+        )
 
     # ------------------------------------------------------------------
     def datapath_energy_pj(self, instr: Instr) -> float:

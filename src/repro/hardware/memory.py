@@ -48,6 +48,35 @@ class MemoryStats:
         bits = 32 if instr.fmt is None else instr.fmt.bits
         self.by_element_bits[bits] = self.by_element_bits.get(bits, 0) + 1
 
+    # ------------------------------------------------------------------
+    # Serialization (result store / experiment runner)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-able dict; :meth:`from_payload` restores an equal object."""
+        return {
+            "loads": self.loads,
+            "stores": self.stores,
+            "vector_accesses": self.vector_accesses,
+            "bytes_moved": self.bytes_moved,
+            # JSON keys are strings; decode turns them back into ints.
+            "by_element_bits": {
+                str(k): v for k, v in self.by_element_bits.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "MemoryStats":
+        return cls(
+            loads=int(payload["loads"]),
+            stores=int(payload["stores"]),
+            vector_accesses=int(payload["vector_accesses"]),
+            bytes_moved=int(payload["bytes_moved"]),
+            by_element_bits={
+                int(k): int(v)
+                for k, v in payload["by_element_bits"].items()
+            },
+        )
+
 
 def count_memory(instrs: list[Instr]) -> MemoryStats:
     """Tally all memory accesses in a replayed stream."""

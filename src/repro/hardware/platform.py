@@ -7,6 +7,7 @@ counts and the Fig. 7 energy split in one :class:`RunReport`.
 
 from __future__ import annotations
 
+import json
 from collections import Counter
 from dataclasses import dataclass
 
@@ -73,6 +74,51 @@ class RunReport:
     def vector_cycles(self) -> int:
         return self.timing.cycles_by_class.get("fp_vector", 0)
 
+    # ------------------------------------------------------------------
+    # Serialization (result store / experiment runner)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-able dict; :meth:`from_payload` restores an equal report.
+
+        Counter keys are tuples, which JSON cannot express: they are
+        flattened to ``[field..., count]`` rows.
+        """
+        return {
+            "program": self.program,
+            "timing": self.timing.to_payload(),
+            "memory": self.memory.to_payload(),
+            "energy": self.energy.to_payload(),
+            "fp_instrs": [
+                [fmt, op, lanes, n]
+                for (fmt, op, lanes), n in sorted(self.fp_instrs.items())
+            ],
+            "cast_instrs": [
+                [src, dst, lanes, n]
+                for (src, dst, lanes), n in sorted(self.cast_instrs.items())
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RunReport":
+        return cls(
+            program=payload["program"],
+            timing=Timing.from_payload(payload["timing"]),
+            memory=MemoryStats.from_payload(payload["memory"]),
+            energy=EnergyBreakdown.from_payload(payload["energy"]),
+            fp_instrs=Counter(
+                {
+                    (fmt, op, int(lanes)): int(n)
+                    for fmt, op, lanes, n in payload["fp_instrs"]
+                }
+            ),
+            cast_instrs=Counter(
+                {
+                    (src, dst, int(lanes)): int(n)
+                    for src, dst, lanes, n in payload["cast_instrs"]
+                }
+            ),
+        )
+
 
 class VirtualPlatform:
     """Run programs and collect reports.
@@ -94,6 +140,46 @@ class VirtualPlatform:
     @property
     def energy_model(self) -> EnergyModel:
         return self._energy
+
+    # ------------------------------------------------------------------
+    # Serialization (worker-session bootstrap)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-able configuration; :meth:`from_payload` rebuilds a
+        platform producing identical reports."""
+        return {
+            "energy_model": self._energy.to_payload(),
+            "fp_latency_override": (
+                dict(self._fp_latency_override)
+                if self._fp_latency_override is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "VirtualPlatform":
+        override = payload["fp_latency_override"]
+        return cls(
+            energy_model=EnergyModel.from_payload(payload["energy_model"]),
+            fp_latency_override=(
+                {str(k): int(v) for k, v in override.items()}
+                if override is not None
+                else None
+            ),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable configuration description for result keying.
+
+        Unlike :meth:`to_payload` this never raises: an energy-model
+        subclass that cannot cross a process boundary can still be
+        *distinguished* (by its dataclass repr) so its results never
+        alias the default platform's in a result store.
+        """
+        try:
+            return json.dumps(self.to_payload(), sort_keys=True)
+        except TypeError:
+            return repr((self._energy, self._fp_latency_override))
 
     def run(self, program: Program) -> RunReport:
         """Replay a built kernel through timing, memory and energy."""

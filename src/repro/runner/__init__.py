@@ -1,0 +1,34 @@
+"""Parallel experiment engine: grid runner + persistent result store.
+
+The paper's evaluation is an experiment grid -- applications x type
+systems x precision targets, each a five-step flow.  This subsystem
+turns that grid into a sharded, resumable, parallel campaign:
+
+>>> from repro.runner import ExperimentRunner
+>>> runner = ExperimentRunner(scale="tiny", jobs=4)      # doctest: +SKIP
+>>> runner.run(runner.grid(["conv", "knn"], ["V2"], [1e-1, 1e-2]))
+...                                                      # doctest: +SKIP
+
+Results persist as JSON under the store (default ``results/store``); a
+second driver, a second process, or tomorrow's run replays them as pure
+cache hits.  The analysis drivers all route through this engine via
+:func:`repro.analysis.common.flow_result`.
+"""
+
+from .engine import ExperimentRunner, RunnerCounters, execute_job
+from .jobs import REPORT_VARIANTS, compute_flow, compute_report, strip_casts
+from .store import STORE_VERSION, JobSpec, ResultStore, default_store_dir
+
+__all__ = [
+    "ExperimentRunner",
+    "RunnerCounters",
+    "execute_job",
+    "REPORT_VARIANTS",
+    "compute_flow",
+    "compute_report",
+    "strip_casts",
+    "JobSpec",
+    "ResultStore",
+    "STORE_VERSION",
+    "default_store_dir",
+]

@@ -1,0 +1,394 @@
+"""The parallel experiment engine.
+
+:class:`ExperimentRunner` materializes an (app x type-system x
+precision) grid as :class:`~repro.runner.store.JobSpec` jobs, executes
+the missing ones -- in-process when ``jobs <= 1``, across a
+``ProcessPoolExecutor`` otherwise -- and reads/writes the persistent
+:class:`~repro.runner.store.ResultStore`, so a second driver (or a
+second run) is pure cache hits.
+
+Process-boundary rules:
+
+* a job crosses as a frozen, primitive-field :class:`JobSpec` plus a
+  small runner spec (backend name, cache dir, store root/version);
+* each worker builds its own :class:`~repro.session.Session` via
+  :meth:`Session.from_spec`, so no execution-context state (collectors,
+  backend objects, platforms) ever crosses processes;
+* results come back as JSON payloads (the same bytes the store holds),
+  decoded in the parent -- a parallel run is therefore bit-identical to
+  a serial one by construction of the payload round-trip.
+
+Flow jobs run before report jobs (reports derive from flows), so a cold
+parallel campaign still computes every flow exactly once.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.flow import FlowResult
+from repro.hardware import RunReport
+from repro.session import Session
+from repro.tuning import TypeSystem, register_type_system, type_system
+
+from .jobs import compute_flow, compute_report
+from .store import JobSpec, ResultStore
+
+__all__ = ["ExperimentRunner", "RunnerCounters", "execute_job"]
+
+#: Progress callback: (index, total, spec, status, seconds).  ``status``
+#: is "memo" (in-memory hit), "hit" (store hit) or "run" (computed).
+ProgressFn = Callable[[int, int, JobSpec, str, float], None]
+
+
+@dataclass
+class RunnerCounters:
+    """How the runner satisfied its jobs (the cache-hit accounting)."""
+
+    memo_hits: int = 0
+    store_hits: int = 0
+    computed: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.memo_hits + self.store_hits + self.computed
+
+
+# ----------------------------------------------------------------------
+# Worker entry (top-level so it pickles)
+# ----------------------------------------------------------------------
+def execute_job(runner_spec: dict, job: JobSpec) -> dict:
+    """Run one job inside a pool worker; returns a JSON-able summary.
+
+    The worker bootstraps its own session and store from
+    ``runner_spec``, re-checks the store (another worker or a concurrent
+    campaign may have won the race), computes on a miss, persists
+    atomically, and ships the payload back to the parent.
+    """
+    start = time.perf_counter()
+    # Register the campaign's type systems: a spawn-started worker has a
+    # fresh registry holding only the built-ins (idempotent under fork).
+    for ts_payload in runner_spec.get("type_systems", []):
+        register_type_system(TypeSystem.from_payload(ts_payload))
+    session = Session.from_spec(runner_spec["session"])
+    store = ResultStore(
+        runner_spec["store_root"],
+        backend=runner_spec["session"]["backend"],
+        env=runner_spec.get("store_env", ""),
+        version=runner_spec["store_version"],
+    )
+    payload = store.load(job)
+    if payload is not None:
+        return {
+            "computed": False,
+            "payload": payload,
+            "seconds": time.perf_counter() - start,
+        }
+
+    if job.kind == "flow":
+        result = compute_flow(job, session)
+    else:
+
+        def get_flow(app: str, ts: str, precision: float) -> FlowResult:
+            flow_spec = JobSpec("flow", app, job.scale, ts, precision)
+            flow_payload = store.load(flow_spec)
+            if flow_payload is not None:
+                return FlowResult.from_payload(flow_payload)
+            flow = compute_flow(flow_spec, session)
+            store.save(flow_spec, flow.to_payload())
+            return flow
+
+        result = compute_report(job, session, get_flow)
+
+    payload = result.to_payload()
+    store.save(job, payload)
+    return {
+        "computed": True,
+        "payload": payload,
+        "seconds": time.perf_counter() - start,
+    }
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+class ExperimentRunner:
+    """Grid materialization + store-backed (possibly parallel) execution.
+
+    Parameters
+    ----------
+    session:
+        The session serial (in-process) jobs execute under; workers get
+        equivalent sessions rebuilt from ``session.spec()``.
+    scale:
+        Problem scale every job of this runner uses.
+    store_dir:
+        Result-store root (default ``./results/store``).
+    cache_dir:
+        Tuning-cache directory flows use (default: the session's).
+    jobs:
+        Worker-process count; ``<= 1`` runs everything in-process.
+    progress:
+        Optional per-job callback (see :data:`ProgressFn`).
+    """
+
+    def __init__(
+        self,
+        session: Session | None = None,
+        scale: str = "paper",
+        store_dir: "Path | str | None" = None,
+        cache_dir: "Path | str | None" = None,
+        jobs: int = 1,
+        progress: ProgressFn | None = None,
+    ) -> None:
+        self.session = session if session is not None else Session()
+        self.scale = scale
+        self.jobs = max(1, int(jobs))
+        self.progress = progress
+        self.cache_dir = (
+            Path(cache_dir)
+            if cache_dir is not None
+            else self.session.cache_dir
+        )
+        self.store = ResultStore(
+            store_dir,
+            backend=self.session.backend.name,
+            env=self.session.environment_fingerprint(),
+        )
+        self.counters = RunnerCounters()
+        self._memo: dict[JobSpec, object] = {}
+
+    # ------------------------------------------------------------------
+    # Grid materialization
+    # ------------------------------------------------------------------
+    def flow_spec(
+        self, app: str, ts: "str | TypeSystem", precision: float
+    ) -> JobSpec:
+        return JobSpec(
+            "flow", app, self.scale, self._ts_name(ts), float(precision)
+        )
+
+    def report_spec(
+        self,
+        variant: str,
+        app: str,
+        ts: "str | TypeSystem | None" = None,
+        precision: float = 0.0,
+    ) -> JobSpec:
+        ts_name = "" if ts is None else self._ts_name(ts)
+        return JobSpec(
+            "report", app, self.scale, ts_name, float(precision), variant
+        )
+
+    @staticmethod
+    def _ts_name(ts: "str | TypeSystem") -> str:
+        """Reduce a type system to its registry name for the job key.
+
+        Jobs cross process boundaries as names, so an instance must be
+        resolvable back to *itself*: instances are registered on the
+        way in (idempotent), and a name collision with a different
+        system raises instead of silently computing with the wrong
+        intervals.
+        """
+        if isinstance(ts, TypeSystem):
+            register_type_system(ts)
+            return ts.name
+        return type_system(ts).name
+
+    def grid(
+        self,
+        apps: Sequence[str],
+        type_systems: Sequence["str | TypeSystem"],
+        precisions: Sequence[float],
+    ) -> list[JobSpec]:
+        """Flow jobs for the full cross product, apps-major order."""
+        return [
+            self.flow_spec(app, ts, precision)
+            for app in apps
+            for ts in type_systems
+            for precision in precisions
+        ]
+
+    # ------------------------------------------------------------------
+    # Single-result access (the drivers' entry point)
+    # ------------------------------------------------------------------
+    def flow(
+        self, app: str, ts: "str | TypeSystem", precision: float
+    ) -> FlowResult:
+        """The flow result for one grid point (memo -> store -> compute)."""
+        return self._fetch(self.flow_spec(app, ts, precision))
+
+    def report(
+        self,
+        variant: str,
+        app: str,
+        ts: "str | TypeSystem | None" = None,
+        precision: float = 0.0,
+    ) -> RunReport:
+        """A derived platform report (memo -> store -> compute)."""
+        return self._fetch(self.report_spec(variant, app, ts, precision))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, specs: Iterable[JobSpec]) -> dict[JobSpec, object]:
+        """Satisfy every job, fanning misses out across the pool.
+
+        Returns spec -> result (:class:`FlowResult` or
+        :class:`RunReport`).  Hits resolve in the parent without touching
+        a worker; with ``jobs <= 1`` misses compute in-process, exactly
+        like the serial drivers always did.
+        """
+        ordered = list(dict.fromkeys(specs))
+        results: dict[JobSpec, object] = {}
+        pending: list[JobSpec] = []
+        done = 0
+        total = len(ordered)
+
+        for spec in ordered:
+            if spec in self._memo:
+                results[spec] = self._memo[spec]
+                self.counters.memo_hits += 1
+                done += 1
+                self._report_progress(done, total, spec, "memo", 0.0)
+                continue
+            payload = self.store.load(spec)
+            if payload is not None:
+                result = self._decode(spec, payload)
+                self._memo[spec] = result
+                results[spec] = result
+                self.counters.store_hits += 1
+                done += 1
+                self._report_progress(done, total, spec, "hit", 0.0)
+                continue
+            pending.append(spec)
+
+        if not pending:
+            return results
+
+        if self.jobs <= 1:
+            for spec in pending:
+                start = time.perf_counter()
+                # A report computed earlier in this loop may have pulled
+                # its parent flow into the memo; everything else was
+                # proved cold above, so skip the redundant store read.
+                if spec in self._memo:
+                    results[spec] = self._memo[spec]
+                    self.counters.memo_hits += 1
+                    status = "memo"
+                else:
+                    results[spec] = self._compute_and_store(spec)
+                    status = "run"
+                done += 1
+                self._report_progress(
+                    done, total, spec, status,
+                    time.perf_counter() - start,
+                )
+            return results
+
+        runner_spec = self._runner_spec(pending)
+        # Reports derive from flows: run the flow wave first so report
+        # workers find their parent flows already stored.
+        waves = (
+            [s for s in pending if s.kind == "flow"],
+            [s for s in pending if s.kind == "report"],
+        )
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(pending))
+        ) as pool:
+            for wave in waves:
+                if not wave:
+                    continue
+                futures = {
+                    pool.submit(execute_job, runner_spec, spec): spec
+                    for spec in wave
+                }
+                for future in as_completed(futures):
+                    spec = futures[future]
+                    outcome = future.result()
+                    result = self._decode(spec, outcome["payload"])
+                    self._memo[spec] = result
+                    results[spec] = result
+                    if outcome["computed"]:
+                        self.counters.computed += 1
+                        status = "run"
+                    else:
+                        self.counters.store_hits += 1
+                        status = "hit"
+                    done += 1
+                    self._report_progress(
+                        done, total, spec, status, outcome["seconds"]
+                    )
+        return results
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _runner_spec(self, jobs: Sequence[JobSpec] = ()) -> dict:
+        spec = self.session.spec()
+        spec["cache_dir"] = str(self.cache_dir)
+        ts_names = {job.type_system for job in jobs if job.type_system}
+        return {
+            "session": spec,
+            "store_root": str(self.store.root),
+            "store_env": self.store.env,
+            "store_version": self.store.version,
+            # Full definitions, not just names, so workers started via
+            # spawn (fresh registries) can resolve custom systems too.
+            "type_systems": [
+                type_system(name).to_payload() for name in sorted(ts_names)
+            ],
+        }
+
+    def _fetch(self, spec: JobSpec):
+        """Memo -> store -> in-process compute for one job."""
+        if spec in self._memo:
+            self.counters.memo_hits += 1
+            return self._memo[spec]
+        payload = self.store.load(spec)
+        if payload is not None:
+            self.counters.store_hits += 1
+            result = self._decode(spec, payload)
+            self._memo[spec] = result
+            return result
+        return self._compute_and_store(spec)
+
+    def _compute_and_store(self, spec: JobSpec):
+        """In-process compute for a job known to be cold, then persist."""
+        if spec.kind == "flow":
+            result = compute_flow(
+                spec, self.session, cache_dir=self.cache_dir
+            )
+        else:
+            result = compute_report(
+                spec,
+                self.session,
+                lambda app, ts, precision: self.flow(app, ts, precision),
+            )
+        self.counters.computed += 1
+        self.store.save(spec, result.to_payload())
+        self._memo[spec] = result
+        return result
+
+    @staticmethod
+    def _decode(spec: JobSpec, payload: dict):
+        if spec.kind == "flow":
+            return FlowResult.from_payload(payload)
+        return RunReport.from_payload(payload)
+
+    def _report_progress(
+        self, index: int, total: int, spec: JobSpec,
+        status: str, seconds: float,
+    ) -> None:
+        if self.progress is not None:
+            self.progress(index, total, spec, status, seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ExperimentRunner(scale={self.scale!r}, jobs={self.jobs}, "
+            f"store={str(self.store.root)!r})"
+        )

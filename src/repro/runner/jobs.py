@@ -1,0 +1,158 @@
+"""What a job *means*: flow execution and derived report variants.
+
+The runner's unit of work is a :class:`~repro.runner.store.JobSpec`;
+this module maps specs to computations:
+
+* ``kind="flow"`` -- the five-step transprecision flow for one
+  (app, scale, type system, precision) grid point.
+* ``kind="report"`` -- a derived virtual-platform replay.  Variants are
+  registered in :data:`REPORT_VARIANTS`; the built-ins cover every
+  platform run the analysis drivers perform outside the standard flow,
+  which is what lets a warm store satisfy ``repro all`` without a single
+  recomputation:
+
+  - ``baseline``    binary32, unvectorized (the motivation driver);
+  - ``castless``    the tuned kernel with every cast stripped
+    (ablation 1: the cast-aware-tuning upper bound);
+  - ``fast16``      the tuned kernel with 16-bit FP latency forced to 1
+    (ablation 3);
+  - ``pca_manual``  PCA rebuilt with hand-vectorized kernels under the
+    same tuned binding (Fig. 7's labels 1-3).
+
+Everything here executes under an explicit :class:`repro.session.Session`
+so the computation is identical whether it happens in-process (serial
+path) or inside a pool worker bootstrapped via ``Session.from_spec``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps import PcaApp, make_app
+from repro.flow import FlowResult, TransprecisionFlow
+from repro.hardware import Kind, Program, RunReport, VirtualPlatform
+from repro.session import Session
+from repro.tuning import type_system
+
+from .store import JobSpec
+
+__all__ = [
+    "REPORT_VARIANTS",
+    "compute_flow",
+    "compute_report",
+    "strip_casts",
+]
+
+#: Callable that yields the FlowResult a report variant derives from.
+FlowLoader = Callable[[str, str, float], FlowResult]
+
+
+def compute_flow(
+    job: JobSpec, session: Session, cache_dir=None
+) -> FlowResult:
+    """Run the five-step flow for one grid point under ``session``.
+
+    ``cache_dir`` overrides the tuning-cache location (default: the
+    session's own).
+    """
+    app = make_app(job.app, job.scale)
+    flow = TransprecisionFlow(
+        app,
+        type_system(job.type_system),
+        job.precision,
+        cache_dir=cache_dir if cache_dir is not None else session.cache_dir,
+        session=session,
+    )
+    return flow.run()
+
+
+# ----------------------------------------------------------------------
+# Report variants
+# ----------------------------------------------------------------------
+def strip_casts(program: Program) -> Program:
+    """The program with every conversion instruction removed."""
+    kept = [i for i in program.instrs if i.kind != Kind.CAST]
+    return Program(program.name, kept, program.arrays)
+
+
+def _baseline(
+    job: JobSpec, session: Session, get_flow: FlowLoader
+) -> RunReport:
+    app = make_app(job.app, job.scale)
+    with session:
+        program = app.build_program(
+            app.baseline_binding(), 0, vectorize=False
+        )
+    return session.platform.run(program)
+
+
+#: Tuned kernels rebuilt for report variants, keyed by grid point.
+#: Program construction is deterministic in (app, scale, binding) --
+#: and the binding is determined by the grid point -- so one build can
+#: serve every variant (castless and fast16 would otherwise each re-run
+#: the full emulated kernel build per app).  Bounded by the grid size.
+_TUNED_PROGRAMS: dict[tuple, Program] = {}
+
+
+def _tuned_program(
+    job: JobSpec, session: Session, get_flow: FlowLoader
+) -> Program:
+    key = (job.app, job.scale, job.type_system, job.precision)
+    if key not in _TUNED_PROGRAMS:
+        flow = get_flow(job.app, job.type_system, job.precision)
+        app = make_app(job.app, job.scale)
+        with session:
+            _TUNED_PROGRAMS[key] = app.build_program(
+                flow.binding, 0, vectorize=True
+            )
+    return _TUNED_PROGRAMS[key]
+
+
+def _castless(
+    job: JobSpec, session: Session, get_flow: FlowLoader
+) -> RunReport:
+    return session.platform.run(
+        strip_casts(_tuned_program(job, session, get_flow))
+    )
+
+
+def _fast16(
+    job: JobSpec, session: Session, get_flow: FlowLoader
+) -> RunReport:
+    fast16 = VirtualPlatform(
+        fp_latency_override={"binary16": 1, "binary16alt": 1}
+    )
+    return fast16.run(_tuned_program(job, session, get_flow))
+
+
+def _pca_manual(
+    job: JobSpec, session: Session, get_flow: FlowLoader
+) -> RunReport:
+    flow = get_flow(job.app, job.type_system, job.precision)
+    manual = PcaApp(job.scale, manual_vectorize=True)
+    with session:
+        program = manual.build_program(flow.binding, 0, vectorize=True)
+    return session.platform.run(program)
+
+
+#: variant name -> (job, session, flow loader) -> RunReport.
+REPORT_VARIANTS: dict[str, Callable[..., RunReport]] = {
+    "baseline": _baseline,
+    "castless": _castless,
+    "fast16": _fast16,
+    "pca_manual": _pca_manual,
+}
+
+
+def compute_report(
+    job: JobSpec, session: Session, get_flow: FlowLoader
+) -> RunReport:
+    """Run one report variant (``get_flow`` supplies its parent flow)."""
+    try:
+        variant = REPORT_VARIANTS[job.variant]
+    except KeyError:
+        known = ", ".join(sorted(REPORT_VARIANTS))
+        raise KeyError(
+            f"unknown report variant {job.variant!r} (known: {known})"
+        ) from None
+    return variant(job, session, get_flow)

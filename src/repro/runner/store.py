@@ -1,0 +1,209 @@
+"""Persistent, versioned on-disk store for experiment results.
+
+One JSON file per job, addressed by the job's full identity -- kind,
+application, scale, type system, precision, variant -- plus the backend
+that produced it and a store-format version.  A second driver (or a
+second process, or tomorrow's run) that asks for the same job gets a
+pure cache hit; nothing is recomputed.
+
+Layout under the store root::
+
+    <root>/v<VERSION>/flow/conv-tiny-V2-0.1-reference.json
+    <root>/v<VERSION>/report/baseline-conv-tiny-reference.json
+    <root>/v<VERSION>/report/pca_manual-pca-tiny-V2-0.001-reference.json
+
+Every file is a self-describing envelope ``{"version", "kind", "key",
+"payload"}``; readers reject entries whose version does not match
+:data:`STORE_VERSION`.  Bump the version (or wipe the root) whenever the
+payload schema or the meaning of a result changes.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent workers --
+or concurrent ``repro run`` invocations -- can never tear a file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.util import write_json_atomic
+
+__all__ = ["STORE_VERSION", "JobSpec", "ResultStore", "default_store_dir"]
+
+#: Bump when the payload schema or result semantics change; old entries
+#: are ignored (and can be wiped with ``ResultStore.wipe()``).
+STORE_VERSION = 1
+
+
+def default_store_dir() -> Path:
+    """Where flow results persist when nobody says otherwise."""
+    return Path.cwd() / "results" / "store"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One grid point: what to compute, not how or where.
+
+    ``kind`` is ``"flow"`` (the five-step flow, yielding a
+    :class:`~repro.flow.FlowResult`) or ``"report"`` (a derived virtual-
+    platform replay, yielding a :class:`~repro.hardware.RunReport`;
+    ``variant`` names which one).  Frozen and built from primitives, so
+    specs are hashable dict keys and pickle cleanly across the process
+    pool.
+    """
+
+    kind: str
+    app: str
+    scale: str
+    type_system: str = ""
+    precision: float = 0.0
+    variant: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("flow", "report"):
+            raise ValueError(f"unknown job kind {self.kind!r}")
+        if self.kind == "report" and not self.variant:
+            raise ValueError("report jobs need a variant name")
+        if self.kind == "flow" and not self.type_system:
+            raise ValueError("flow jobs need a type system")
+
+    # ------------------------------------------------------------------
+    def key_fields(self) -> tuple[str, ...]:
+        """The identity fields that address this job in the store."""
+        parts = [self.variant] if self.variant else []
+        parts += [self.app, self.scale]
+        if self.type_system:
+            parts.append(self.type_system)
+            parts.append(f"{self.precision:g}")
+        return tuple(parts)
+
+    def describe(self) -> str:
+        """One human line, used for progress output."""
+        fields = [self.app, self.scale]
+        if self.type_system:
+            fields += [self.type_system, f"{self.precision:g}"]
+        if self.variant:
+            fields.append(self.variant)
+        return f"{self.kind} {' '.join(fields)}"
+
+
+class ResultStore:
+    """Read/write :class:`JobSpec`-addressed payloads with hit counters.
+
+    Parameters
+    ----------
+    root:
+        Store root directory (versioned subdirectory created on demand).
+    backend:
+        Name of the arithmetic backend producing results; part of every
+        key, so results from different backends never alias.
+    env:
+        Execution-environment tag (non-empty for sessions with a custom
+        platform or format environment); part of every key, so results
+        from, say, a latency-override platform can never be replayed as
+        if they came from the default one.
+    version:
+        Store-format version (tests override to simulate migrations).
+    """
+
+    def __init__(
+        self,
+        root: "Path | str | None" = None,
+        backend: str = "reference",
+        env: str = "",
+        version: int = STORE_VERSION,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_store_dir()
+        self.backend = backend
+        self.env = env
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def version_dir(self) -> Path:
+        return self.root / f"v{self.version}"
+
+    def path(self, spec: JobSpec) -> Path:
+        tail = (self.backend,) + ((self.env,) if self.env else ())
+        name = "-".join(spec.key_fields() + tail)
+        return self.version_dir / spec.kind / f"{name}.json"
+
+    def _key(self, spec: JobSpec) -> dict:
+        """The exact identity stored in (and checked against) envelopes.
+
+        Filenames render precision with ``%g`` (6 significant digits),
+        so two nearby precisions *can* share a file name; the envelope
+        records the exact value and :meth:`load` cross-checks it, which
+        turns such a collision into an honest miss instead of silently
+        handing one grid point another's results.
+        """
+        return {
+            "app": spec.app,
+            "scale": spec.scale,
+            "type_system": spec.type_system,
+            "precision": spec.precision,
+            "variant": spec.variant,
+            "backend": self.backend,
+            "env": self.env,
+        }
+
+    # ------------------------------------------------------------------
+    def load(self, spec: JobSpec) -> dict | None:
+        """The stored payload for a job, or None (counts hits/misses)."""
+        path = self.path(spec)
+        try:
+            envelope = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        payload = (
+            envelope.get("payload")
+            if isinstance(envelope, dict)
+            and envelope.get("version") == self.version
+            and envelope.get("key") == self._key(spec)
+            else None
+        )
+        if payload is None:
+            # Wrong version, a different job behind an aliased file
+            # name, a hand-edited file, or non-dict JSON: treat every
+            # mismatched entry as a miss, never crash a campaign.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def save(self, spec: JobSpec, payload: dict) -> Path:
+        """Persist a payload atomically; returns the file written."""
+        path = self.path(spec)
+        write_json_atomic(
+            path,
+            {
+                "version": self.version,
+                "kind": spec.kind,
+                "key": self._key(spec),
+                "payload": payload,
+            },
+        )
+        return path
+
+    def contains(self, spec: JobSpec) -> bool:
+        """Existence check that does not touch the hit/miss counters."""
+        return self.path(spec).exists()
+
+    def wipe(self) -> int:
+        """Delete every entry of *this* store version; returns the count."""
+        removed = 0
+        if self.version_dir.exists():
+            for path in sorted(
+                self.version_dir.rglob("*.json"), reverse=True
+            ):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def entries(self) -> list[Path]:
+        """Every stored file of this version (for artifact upload/debug)."""
+        return sorted(self.version_dir.rglob("*.json"))

@@ -36,6 +36,8 @@ active.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import threading
 from contextlib import contextmanager
 from pathlib import Path
@@ -176,6 +178,110 @@ class Session:
     def use_backend(self, spec: Backend | str):
         """Temporarily swap this session's backend (stats keep flowing)."""
         return _use_backend(spec, ctx=self._context)
+
+    # ------------------------------------------------------------------
+    # Worker bootstrap (experiment runner)
+    # ------------------------------------------------------------------
+    def spec(self) -> dict:
+        """A picklable description from which :meth:`from_spec` rebuilds
+        an equivalent session.
+
+        Only durable configuration crosses a process boundary -- the
+        backend *name*, the cache directory, and the platform/format
+        *configuration* (constants, not objects) -- never live context
+        state (collectors, vector-region depth): each worker owns a
+        fresh execution context, so no statistics or backend state can
+        leak between processes.  A session configured with a custom
+        platform or format environment therefore produces bit-identical
+        results in a worker too.
+
+        Raises ``TypeError`` when the session cannot be rebuilt from a
+        spec: the backend instance is not what its name resolves to in
+        the registry, or the platform's energy model is a behavioural
+        subclass.  Failing here (at spec time) beats a silently wrong
+        backend materializing in every worker.
+        """
+        try:
+            resolved = resolve_backend(self.backend.name)
+        except KeyError:
+            raise TypeError(
+                f"backend {self.backend.name!r} is not in the registry; "
+                "register_backend() it so workers can rebuild it by name"
+            ) from None
+        if type(resolved) is not type(self.backend):
+            raise TypeError(
+                f"backend {self.backend.name!r} resolves to "
+                f"{type(resolved).__name__}, not "
+                f"{type(self.backend).__name__}: register the custom "
+                "backend class under its own name before sending this "
+                "session across a process boundary"
+            )
+        return {
+            "backend": self.backend.name,
+            "cache_dir": str(self._cache_dir),
+            # None = the lazily-built default platform.
+            "platform": (
+                self._platform.to_payload()
+                if self._platform is not None
+                else None
+            ),
+            "formats": (
+                [fmt.to_payload() for fmt in self.formats]
+                if self.formats != STANDARD_FORMATS
+                else None
+            ),
+        }
+
+    def environment_fingerprint(self) -> str:
+        """Short stable tag for this session's platform/format setup.
+
+        Empty for the default environment; otherwise a hash that result
+        stores append to their keys so results from different execution
+        environments never alias.  Never raises -- environments that
+        cannot cross a process boundary (see :meth:`spec`) can still be
+        told apart.
+        """
+        from .hardware import VirtualPlatform
+
+        platform_desc = (
+            self._platform.fingerprint()
+            if self._platform is not None
+            else None
+        )
+        if platform_desc == VirtualPlatform().fingerprint():
+            platform_desc = None  # lazily-built or equivalent default
+        if platform_desc is None and self.formats == STANDARD_FORMATS:
+            return ""
+        desc = json.dumps(
+            {
+                "platform": platform_desc,
+                "formats": [fmt.to_payload() for fmt in self.formats],
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha1(desc.encode()).hexdigest()[:10]
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "Session":
+        """Rebuild a worker-side session from :meth:`spec`'s output."""
+        platform = None
+        if spec.get("platform") is not None:
+            from .hardware import VirtualPlatform
+
+            platform = VirtualPlatform.from_payload(spec["platform"])
+        formats = (
+            tuple(
+                FPFormat.from_payload(fmt) for fmt in spec["formats"]
+            )
+            if spec.get("formats") is not None
+            else STANDARD_FORMATS
+        )
+        return cls(
+            backend=spec["backend"],
+            cache_dir=spec["cache_dir"],
+            platform=platform,
+            formats=formats,
+        )
 
     # ------------------------------------------------------------------
     # Higher layers

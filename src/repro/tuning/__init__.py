@@ -9,7 +9,16 @@ Typical use::
 """
 
 from .castaware import CastAwareSearch, estimate_cost_pj
-from .mapping import MAX_PRECISION_BITS, V1, V2, TypeSystem
+from .mapping import (
+    MAX_PRECISION_BITS,
+    V1,
+    V2,
+    V2_NO8,
+    TypeSystem,
+    register_type_system,
+    type_system,
+    type_system_names,
+)
 from .range_analysis import (
     RangeReport,
     analyze_range,
@@ -44,7 +53,11 @@ __all__ = [
     "TypeSystem",
     "V1",
     "V2",
+    "V2_NO8",
     "MAX_PRECISION_BITS",
+    "register_type_system",
+    "type_system",
+    "type_system_names",
     "DistributedSearch",
     "TuningResult",
     "InfeasibleError",

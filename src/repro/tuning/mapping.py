@@ -33,7 +33,16 @@ from repro.core import (
     FPFormat,
 )
 
-__all__ = ["TypeSystem", "V1", "V2", "MAX_PRECISION_BITS"]
+__all__ = [
+    "TypeSystem",
+    "V1",
+    "V2",
+    "V2_NO8",
+    "MAX_PRECISION_BITS",
+    "register_type_system",
+    "type_system",
+    "type_system_names",
+]
 
 #: Precision bits of binary32, the widest type on the target platform.
 MAX_PRECISION_BITS = 24
@@ -101,6 +110,30 @@ class TypeSystem:
         """Upper precision boundaries of the intervals, e.g. (3, 8, 11, 24)."""
         return tuple(max_p for max_p, _ in self.intervals)
 
+    # ------------------------------------------------------------------
+    # Serialization (runner worker bootstrap)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-able description; :meth:`from_payload` rebuilds an equal
+        system.  Lets the experiment runner ship custom type systems to
+        worker processes whose registries only hold the built-ins."""
+        return {
+            "name": self.name,
+            "intervals": [
+                [max_p, fmt.to_payload()] for max_p, fmt in self.intervals
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TypeSystem":
+        return cls(
+            payload["name"],
+            tuple(
+                (int(max_p), FPFormat.from_payload(fmt))
+                for max_p, fmt in payload["intervals"]
+            ),
+        )
+
 
 #: Type system V1: binary8, binary16, binary32 (paper Table I).
 V1 = TypeSystem(
@@ -122,3 +155,66 @@ V2 = TypeSystem(
         (MAX_PRECISION_BITS, BINARY32),
     ),
 )
+
+#: V2 without binary8 (the ablation drivers' type system): the
+#: narrowest interval folds into binary16alt.  Defined here rather than
+#: in the ablation driver so the registry below can resolve it in
+#: runner worker processes that never import the analysis layer.
+V2_NO8 = TypeSystem(
+    "V2no8",
+    (
+        (8, BINARY16ALT),
+        (11, BINARY16),
+        (MAX_PRECISION_BITS, BINARY32),
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# Registry: resolve a type system from its name
+# ----------------------------------------------------------------------
+# The experiment runner ships jobs across process boundaries as plain
+# strings; workers turn the type-system *name* back into the object
+# through this registry.  Lookup is case-insensitive (CLI friendliness).
+_REGISTRY: dict[str, TypeSystem] = {}
+
+
+def register_type_system(ts: TypeSystem) -> TypeSystem:
+    """Make a type system resolvable by name (idempotent for equal ones).
+
+    Registering a *different* system under an existing name is refused:
+    silently swapping what ``"V2"`` means would poison every store entry
+    keyed by that name.
+    """
+    key = ts.name.upper()
+    existing = _REGISTRY.get(key)
+    if existing is not None and existing != ts:
+        raise ValueError(
+            f"type system name {ts.name!r} already registered "
+            "with different intervals"
+        )
+    _REGISTRY[key] = ts
+    return ts
+
+
+def type_system(name: "str | TypeSystem") -> TypeSystem:
+    """Resolve a registered type system by name (passes instances through)."""
+    if isinstance(name, TypeSystem):
+        return name
+    try:
+        return _REGISTRY[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(ts.name for ts in _REGISTRY.values()))
+        raise KeyError(
+            f"unknown type system {name!r} (known: {known})"
+        ) from None
+
+
+def type_system_names() -> tuple[str, ...]:
+    """Registered names, in registration order."""
+    return tuple(ts.name for ts in _REGISTRY.values())
+
+
+for _ts in (V1, V2, V2_NO8):
+    register_type_system(_ts)
+del _ts

@@ -101,6 +101,38 @@ class TuningResult:
             out[fmt.name] = out.get(fmt.name, 0) + 1
         return out
 
+    # ------------------------------------------------------------------
+    # Serialization (tuning cache and result store share this format)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-able dict, identical to the on-disk tuning-cache layout."""
+        return {
+            "program": self.program,
+            "type_system": self.type_system,
+            "target_db": self.target_db,
+            "precision": self.precision,
+            "achieved_db": {
+                str(k): v for k, v in self.achieved_db.items()
+            },
+            "evaluations": self.evaluations,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TuningResult":
+        return cls(
+            program=payload["program"],
+            type_system=payload["type_system"],
+            target_db=payload["target_db"],
+            precision={
+                k: int(v) for k, v in payload["precision"].items()
+            },
+            achieved_db={
+                int(k): float(v)
+                for k, v in payload["achieved_db"].items()
+            },
+            evaluations=payload["evaluations"],
+        )
+
 
 class DistributedSearch:
     """Tune one program's variables against an SQNR target.

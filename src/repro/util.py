@@ -1,0 +1,41 @@
+"""Small shared utilities (no repro-internal imports).
+
+Currently: crash/concurrency-safe JSON persistence, shared by the
+tuning cache and the experiment runner's result store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["write_json_atomic"]
+
+
+def write_json_atomic(path: Path, payload: dict, indent: int = 2) -> None:
+    """Write JSON so readers never observe a half-written file.
+
+    The payload goes to a temporary file in the *same* directory (so the
+    rename cannot cross filesystems) and is moved into place with
+    :func:`os.replace`, which is atomic on POSIX and Windows.  Concurrent
+    writers may race, but the loser simply overwrites the winner with
+    identical content; a reader sees either the old file, the new file,
+    or no file -- never a torn one.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=indent)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

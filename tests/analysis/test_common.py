@@ -42,6 +42,32 @@ class TestExperimentConfig:
         cfg = ExperimentConfig(backend="fast")
         assert cfg.session.backend.name == "fast"
 
+    def test_store_dir_defaults_under_cache_dir(self, tmp_path):
+        cfg = ExperimentConfig(cache_dir=tmp_path)
+        assert cfg.resolved_store_dir() == tmp_path / "store"
+
+    def test_explicit_store_dir_wins(self, tmp_path):
+        cfg = ExperimentConfig(
+            cache_dir=tmp_path / "cache", store_dir=tmp_path / "elsewhere"
+        )
+        assert cfg.resolved_store_dir() == tmp_path / "elsewhere"
+
+    def test_default_store_dir_under_cwd(self):
+        cfg = ExperimentConfig()
+        assert cfg.resolved_store_dir().name == "store"
+
+    def test_runner_inherits_config_knobs(self, tmp_path):
+        cfg = ExperimentConfig(
+            scale="tiny", cache_dir=tmp_path, jobs=3, backend="fast"
+        )
+        runner = cfg.runner
+        assert runner.scale == "tiny"
+        assert runner.jobs == 3
+        assert runner.store.backend == "fast"
+        assert runner.store.root == tmp_path / "store"
+        assert runner.cache_dir == tmp_path
+        assert cfg.runner is runner  # constructed once
+
 
 class TestFormatTable:
     def test_alignment(self):

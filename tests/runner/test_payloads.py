@@ -1,0 +1,136 @@
+"""Round-trip serialization: ``from_payload(to_payload(x)) == x``.
+
+The parallel runner ships every result across a process boundary and
+through the on-disk store as JSON; these tests pin the contract that
+nothing the drivers consume is lost or perturbed on the way.
+"""
+
+import json
+
+import pytest
+
+from repro.apps import make_app
+from repro.core import BINARY16ALT, FPFormat, Stats
+from repro.core.stats import CastKey, OpKey
+from repro.flow import FlowResult, TransprecisionFlow
+from repro.hardware import RunReport, VirtualPlatform
+from repro.tuning import V2, TuningResult
+
+
+@pytest.fixture(scope="module")
+def flow_result():
+    app = make_app("conv", "tiny")
+    return TransprecisionFlow(app, V2, 1e-1, cache_dir=None).run()
+
+
+def json_cycle(payload):
+    """Simulate the store: through actual JSON text, not just dicts."""
+    return json.loads(json.dumps(payload))
+
+
+class TestFPFormatPayload:
+    def test_named_format(self):
+        assert FPFormat.from_payload(BINARY16ALT.to_payload()) == BINARY16ALT
+
+    def test_name_survives(self):
+        restored = FPFormat.from_payload(BINARY16ALT.to_payload())
+        assert restored.name == "binary16alt"
+
+    def test_anonymous_format(self):
+        fmt = FPFormat(6, 9)
+        assert FPFormat.from_payload(json_cycle(fmt.to_payload())) == fmt
+
+    def test_bare_name_accepted(self):
+        assert FPFormat.from_payload("binary16alt") == BINARY16ALT
+
+
+class TestStatsPayload:
+    def test_round_trip(self, flow_result):
+        stats = flow_result.stats
+        restored = Stats.from_payload(json_cycle(stats.to_payload()))
+        assert restored == stats
+        assert restored.total_arith_ops() == stats.total_arith_ops()
+        assert restored.ops_by_format() == stats.ops_by_format()
+        assert restored.vector_fraction() == stats.vector_fraction()
+
+    def test_key_types_restored(self, flow_result):
+        restored = Stats.from_payload(
+            json_cycle(flow_result.stats.to_payload())
+        )
+        assert all(isinstance(k, OpKey) for k in restored.ops)
+        assert all(isinstance(k, CastKey) for k in restored.casts)
+        # The vector flag must come back as a real bool, not 0/1.
+        assert all(isinstance(k.vector, bool) for k in restored.ops)
+
+
+class TestRunReportPayload:
+    def test_round_trip(self, flow_result):
+        report = flow_result.tuned_report
+        restored = RunReport.from_payload(json_cycle(report.to_payload()))
+        assert restored == report
+
+    def test_driver_facing_quantities(self, flow_result):
+        report = flow_result.tuned_report
+        restored = RunReport.from_payload(json_cycle(report.to_payload()))
+        assert restored.cycles == report.cycles
+        assert restored.memory_accesses == report.memory_accesses
+        assert restored.energy_pj == report.energy_pj
+        assert restored.fp_operations() == report.fp_operations()
+        assert restored.total_casts() == report.total_casts()
+        assert restored.cast_cycles() == report.cast_cycles()
+        assert restored.vector_cycles() == report.vector_cycles()
+        assert restored.energy.fractions() == report.energy.fractions()
+        assert (
+            restored.memory.by_element_bits == report.memory.by_element_bits
+        )
+
+
+class TestTuningResultPayload:
+    def test_round_trip(self, flow_result):
+        tuning = flow_result.tuning
+        restored = TuningResult.from_payload(
+            json_cycle(tuning.to_payload())
+        )
+        assert restored == tuning
+        # achieved_db keys are per-input-set ints, not strings.
+        assert all(isinstance(k, int) for k in restored.achieved_db)
+
+    def test_payload_matches_tuning_cache_layout(self, flow_result):
+        # The tuning cache on disk and TuningResult.to_payload are the
+        # same format, so old cache files stay valid.
+        payload = flow_result.tuning.to_payload()
+        assert set(payload) == {
+            "program",
+            "type_system",
+            "target_db",
+            "precision",
+            "achieved_db",
+            "evaluations",
+        }
+
+
+class TestFlowResultPayload:
+    def test_full_equality(self, flow_result):
+        restored = FlowResult.from_payload(
+            json_cycle(flow_result.to_payload())
+        )
+        assert restored == flow_result
+
+    def test_derived_ratios_bit_identical(self, flow_result):
+        restored = FlowResult.from_payload(
+            json_cycle(flow_result.to_payload())
+        )
+        assert restored.cycles_ratio == flow_result.cycles_ratio
+        assert restored.memory_ratio == flow_result.memory_ratio
+        assert restored.energy_ratio == flow_result.energy_ratio
+
+    def test_binding_formats_usable(self, flow_result):
+        # A restored binding must drive build_program like the original.
+        restored = FlowResult.from_payload(
+            json_cycle(flow_result.to_payload())
+        )
+        assert restored.binding == flow_result.binding
+        app = make_app("conv", "tiny")
+        program = app.build_program(restored.binding, 0, vectorize=True)
+        report = VirtualPlatform().run(program)
+        assert report == flow_result.tuned_report

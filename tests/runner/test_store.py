@@ -1,0 +1,162 @@
+"""Tests for the persistent result store and its job addressing."""
+
+import json
+
+import pytest
+
+from repro.runner import STORE_VERSION, JobSpec, ResultStore
+
+
+def flow_spec(**overrides):
+    base = dict(
+        kind="flow", app="conv", scale="tiny",
+        type_system="V2", precision=1e-1,
+    )
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+class TestJobSpec:
+    def test_flow_requires_type_system(self):
+        with pytest.raises(ValueError):
+            JobSpec("flow", "conv", "tiny")
+
+    def test_report_requires_variant(self):
+        with pytest.raises(ValueError):
+            JobSpec("report", "conv", "tiny")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec("magic", "conv", "tiny", "V2", 1e-1)
+
+    def test_specs_are_hashable_and_deduplicate(self):
+        a, b = flow_spec(), flow_spec()
+        assert len({a, b}) == 1
+
+    def test_describe_mentions_all_fields(self):
+        spec = JobSpec(
+            "report", "pca", "tiny", "V2", 1e-3, variant="pca_manual"
+        )
+        text = spec.describe()
+        for token in ("report", "pca", "tiny", "V2", "0.001", "pca_manual"):
+            assert token in text
+
+
+class TestStoreLayout:
+    def test_flow_path(self, tmp_path):
+        store = ResultStore(tmp_path, backend="reference")
+        path = store.path(flow_spec())
+        assert path == (
+            tmp_path / f"v{STORE_VERSION}" / "flow"
+            / "conv-tiny-V2-0.1-reference.json"
+        )
+
+    def test_report_path_without_type_system(self, tmp_path):
+        store = ResultStore(tmp_path, backend="fast")
+        spec = JobSpec("report", "conv", "tiny", variant="baseline")
+        assert store.path(spec).name == "baseline-conv-tiny-fast.json"
+
+    def test_backends_never_alias(self, tmp_path):
+        ref = ResultStore(tmp_path, backend="reference")
+        fast = ResultStore(tmp_path, backend="fast")
+        assert ref.path(flow_spec()) != fast.path(flow_spec())
+
+    def test_precisions_never_alias(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.path(flow_spec(precision=1e-1)) != store.path(
+            flow_spec(precision=1e-2)
+        )
+
+
+class TestStoreRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(flow_spec(), {"answer": 42})
+        assert store.load(flow_spec()) == {"answer": 42}
+
+    def test_hit_and_miss_counters(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.load(flow_spec()) is None
+        store.save(flow_spec(), {"x": 1})
+        store.load(flow_spec())
+        store.load(flow_spec())
+        assert (store.hits, store.misses) == (2, 1)
+
+    def test_contains_does_not_count(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert not store.contains(flow_spec())
+        store.save(flow_spec(), {})
+        assert store.contains(flow_spec())
+        assert (store.hits, store.misses) == (0, 0)
+
+    def test_envelope_is_self_describing(self, tmp_path):
+        store = ResultStore(tmp_path, backend="reference")
+        path = store.save(flow_spec(), {"x": 1})
+        envelope = json.loads(path.read_text())
+        assert envelope["version"] == STORE_VERSION
+        assert envelope["kind"] == "flow"
+        assert envelope["key"]["app"] == "conv"
+        assert envelope["key"]["backend"] == "reference"
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        old = ResultStore(tmp_path, version=STORE_VERSION)
+        path = old.save(flow_spec(), {"x": 1})
+        # Simulate a payload written by an older store format.
+        envelope = json.loads(path.read_text())
+        envelope["version"] = STORE_VERSION - 1
+        path.write_text(json.dumps(envelope))
+        assert old.load(flow_spec()) is None
+        assert old.misses == 1
+
+    def test_corrupt_file_is_a_miss_not_a_crash(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save(flow_spec(), {"x": 1})
+        path.write_text("{ torn json")
+        assert store.load(flow_spec()) is None
+
+    def test_envelope_without_payload_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save(flow_spec(), {"x": 1})
+        path.write_text(json.dumps({"version": STORE_VERSION}))
+        assert store.load(flow_spec()) is None
+        assert store.misses == 1
+
+    def test_non_dict_json_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save(flow_spec(), {"x": 1})
+        path.write_text(json.dumps([1, 2, 3]))
+        assert store.load(flow_spec()) is None
+
+    def test_aliased_filename_is_a_miss_not_wrong_data(self, tmp_path):
+        """%g truncates precision to 6 significant digits in filenames;
+        the envelope's exact key must catch the collision."""
+        store = ResultStore(tmp_path)
+        a = flow_spec(precision=0.1234567)
+        b = flow_spec(precision=0.1234568)
+        assert store.path(a) == store.path(b)  # the collision is real
+        store.save(a, {"who": "a"})
+        assert store.load(b) is None           # not a's payload
+        assert store.load(a) == {"who": "a"}
+
+    def test_env_tag_part_of_key(self, tmp_path):
+        plain = ResultStore(tmp_path)
+        tagged = ResultStore(tmp_path, env="abc123")
+        assert plain.path(flow_spec()) != tagged.path(flow_spec())
+        assert "abc123" in tagged.path(flow_spec()).name
+
+    def test_no_temp_residue_after_write(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(flow_spec(), {"x": 1})
+        leftovers = [
+            p for p in tmp_path.rglob("*") if p.suffix == ".tmp"
+        ]
+        assert leftovers == []
+
+    def test_wipe_and_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(flow_spec(), {})
+        store.save(flow_spec(precision=1e-2), {})
+        assert len(store.entries()) == 2
+        assert store.wipe() == 2
+        assert store.entries() == []
+        assert store.load(flow_spec()) is None
