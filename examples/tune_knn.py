@@ -1,43 +1,50 @@
 """Precision-tune the KNN kernel end to end (paper Fig. 2 flow).
 
 Walks all five steps of the transprecision programming flow on the KNN
-application and prints what the paper's Figs. 4-7 would show for it.
+application through the pluggable tuning-strategy API, prints what the
+paper's Figs. 4-7 would show for it, then compares the registered
+tuning strategies on the same problem.
 
 Run with::
 
-    python examples/tune_knn.py [precision]   # default 1e-1
+    python examples/tune_knn.py [precision] [strategy]   # 1e-1, greedy
 """
 
 import sys
 
 from repro import Session
 from repro.apps import KnnApp
-from repro.tuning import V2, precision_to_sqnr_db
+from repro.tuning import V2, precision_to_sqnr_db, strategy_names
 
 
 def main() -> None:
     precision = float(sys.argv[1]) if len(sys.argv) > 1 else 1e-1
+    strategy = sys.argv[2] if len(sys.argv) > 2 else "greedy"
     app = KnnApp("small")
     target = precision_to_sqnr_db(precision)
     print(f"Tuning {app.name} for precision {precision:g} "
-          f"(SQNR >= {target:.0f} dB), type system V2\n")
+          f"(SQNR >= {target:.0f} dB), type system V2, "
+          f"strategy {strategy}\n")
 
-    # One session owns the backend, the statistics scope and the
-    # platform; the whole five-step flow executes under it.  The fast
-    # backend is bit-identical to the reference, so tuning results do
-    # not change -- only the wall-clock does.
-    session = Session(backend="fast")
+    # One session owns the backend, the statistics scope, the platform
+    # and the default tuning strategy; the whole five-step flow executes
+    # under it.  The fast backend is bit-identical to the reference, so
+    # tuning results do not change -- only the wall-clock does.
+    session = Session(backend="fast", default_strategy=strategy)
 
-    # Steps 1-3: tune and map to storage formats.
+    # Steps 1-3: tune and map to storage formats.  tune_report() wraps
+    # the TuningResult with the solver's evaluation/wall-time accounting.
     flow = session.flow(app, V2, precision, cache_dir=None)
-    tuning = flow.tune()
+    report = flow.tune_report()
+    tuning = report.result
     binding = tuning.storage_binding(V2)
     print("Step 2-3: tuned precision bits and storage formats")
     for spec in app.variables():
         bits = tuning.precision[spec.name]
         print(f"  {spec.name:8s} {spec.size:5d} locations  "
               f"{bits:2d} bits -> {binding[spec.name].name}")
-    print(f"  ({tuning.evaluations} program evaluations, achieved "
+    print(f"  ({report.evaluations} program evaluations in "
+          f"{report.wall_time_s:.2f}s, achieved "
           + ", ".join(f"{v:.1f} dB" for v in tuning.achieved_db.values())
           + ")\n")
 
@@ -60,7 +67,29 @@ def main() -> None:
     print(f"  memory accesses {base.memory_accesses:8d} -> "
           f"{tuned.memory_accesses:8d}  ({result.memory_ratio:.2f}x)")
     print(f"  energy          {base.energy_pj / 1e3:8.1f} -> "
-          f"{tuned.energy_pj / 1e3:8.1f} nJ ({result.energy_ratio:.2f}x)")
+          f"{tuned.energy_pj / 1e3:8.1f} nJ ({result.energy_ratio:.2f}x)\n")
+
+    # Strategy comparison: every registered solver against the same
+    # problem.  Same SQNR target, very different evaluation budgets --
+    # bisection typically needs 40-70% fewer program runs than greedy,
+    # annealing trades determinism-friendly randomness for robustness
+    # on non-monotone programs, cast_aware spends extra evaluations to
+    # merge formats and delete conversions.
+    print("Strategy comparison (same problem, every registered solver)")
+    print(f"  {'strategy':12s} {'evals':>6s} {'bits':>5s} {'met':>4s}")
+    for name in strategy_names():
+        if name == strategy:
+            comparison = report  # already solved in steps 2-3 above
+        else:
+            comparison = session.flow(
+                KnnApp("small"), V2, precision,
+                cache_dir=None, strategy=name,
+            ).tune_report()
+        met = all(v >= target
+                  for v in comparison.result.achieved_db.values())
+        bits = sum(comparison.result.precision.values())
+        print(f"  {name:12s} {comparison.evaluations:6d} {bits:5d} "
+              f"{'yes' if met else 'NO':>4s}")
 
 
 if __name__ == "__main__":

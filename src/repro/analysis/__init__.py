@@ -10,7 +10,8 @@ Each submodule exposes ``compute(config) -> dict`` and
 * :mod:`repro.analysis.fig6` -- memory accesses and cycles vs baseline;
 * :mod:`repro.analysis.fig7` -- energy vs baseline (+ PCA manual vec);
 * :mod:`repro.analysis.summary` -- headline claims, paper vs measured;
-* :mod:`repro.analysis.ablation` -- cast-cost / binary8 / latency / V1.
+* :mod:`repro.analysis.ablation` -- cast-cost / binary8 / latency / V1;
+* :mod:`repro.analysis.strategies` -- tuning-strategy cost comparison.
 """
 
 from . import (
@@ -21,6 +22,7 @@ from . import (
     fig6,
     fig7,
     motivation,
+    strategies,
     summary,
     table1,
 )
@@ -48,5 +50,6 @@ __all__ = [
     "fig7",
     "summary",
     "ablation",
+    "strategies",
     "export",
 ]

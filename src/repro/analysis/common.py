@@ -71,6 +71,10 @@ class ExperimentConfig:
     #: Backend name/instance used when constructing the default session;
     #: ignored when an explicit ``session`` is passed.
     backend: Backend | str = "reference"
+    #: Tuning-strategy name used when constructing the default session;
+    #: like ``backend``, ignored when an explicit ``session`` is passed
+    #: (the session's own default then applies).
+    strategy: str = "greedy"
     #: Result-store root (default: ``<cache_dir>/store`` when a cache
     #: dir is given, else ``./results/store``).
     store_dir: Path | None = None
@@ -100,7 +104,9 @@ class ExperimentConfig:
         self.precisions = tuple(self.precisions)
         if self.session is None:
             self.session = Session(
-                backend=self.backend, cache_dir=self.resolved_cache_dir()
+                backend=self.backend,
+                cache_dir=self.resolved_cache_dir(),
+                default_strategy=self.strategy,
             )
 
     def resolved_cache_dir(self) -> Path:
@@ -157,7 +163,12 @@ def flow_result(
     A thin view over ``cfg.runner``: the result comes from the runner's
     memo, the persistent store, or a fresh run under ``cfg.session``.
     """
-    key = (app_name, _type_system(type_system).name, precision)
+    key = (
+        app_name,
+        _type_system(type_system).name,
+        precision,
+        cfg.runner.default_strategy,
+    )
     if key not in cfg._flows:
         cfg._flows[key] = cfg.runner.flow(app_name, type_system, precision)
     return cfg._flows[key]

@@ -14,6 +14,12 @@ Examples::
     # across 4 worker processes; any driver afterwards is pure cache
     # hits (including `repro all`):
     python -m repro run --scale paper --jobs 4
+
+    # Precision-tuning strategies (the pluggable solver API):
+    python -m repro tune --list-strategies
+    python -m repro tune --scale tiny --apps conv --strategy bisect
+    python -m repro strategies --scale tiny   # cost-comparison table
+    python -m repro fig6 --strategy bisect    # any driver, any solver
 """
 
 from __future__ import annotations
@@ -31,12 +37,20 @@ from repro.analysis import (
     fig6,
     fig7,
     motivation,
+    strategies,
     summary,
     table1,
 )
+from repro.apps import make_app
 from repro.core import STANDARD_FORMATS, available_backends
 from repro.hardware import fpu as fpu_model
 from repro.session import Session
+from repro.tuning import (
+    V2,
+    precision_to_sqnr_db,
+    resolve_strategy,
+    strategy_names,
+)
 
 __all__ = ["main"]
 
@@ -49,6 +63,7 @@ _DRIVERS = {
     "fig7": fig7,
     "summary": summary,
     "ablation": ablation,
+    "strategies": strategies,
 }
 
 _ORDER = [
@@ -62,6 +77,7 @@ _ORDER = [
     "fig7",
     "summary",
     "ablation",
+    "strategies",
     "export",
 ]
 
@@ -135,6 +151,55 @@ def _run_grid(cfg: ExperimentConfig) -> None:
     )
 
 
+def _list_strategies() -> str:
+    """The ``repro tune --list-strategies`` table."""
+    lines = ["Registered tuning strategies (see repro.tuning.api):"]
+    for name in strategy_names():
+        strategy = resolve_strategy(name)
+        doc = (strategy.__doc__ or "").strip().splitlines()
+        summary_line = doc[0] if doc else ""
+        default = "  (default)" if name == "greedy" else ""
+        lines.append(f"  {name:12s} {summary_line}{default}")
+    lines.append(
+        "Select one with --strategy; register your own via "
+        "repro.tuning.register_strategy."
+    )
+    return "\n".join(lines)
+
+
+def _run_tune(cfg: ExperimentConfig, precision: float = 1e-1) -> int:
+    """The ``repro tune`` subcommand: tune cfg's apps, print accounting.
+
+    Returns non-zero if any tuned assignment misses its SQNR target, so
+    CI smoke matrices can assert on the exit code.
+    """
+    target = precision_to_sqnr_db(precision)
+    strategy = cfg.session.default_strategy
+    print(
+        f"repro tune: strategy {strategy}, precision {precision:g} "
+        f"(SQNR >= {target:.0f} dB), scale {cfg.scale}"
+    )
+    failures = 0
+    for app_name in cfg.apps:
+        flow = cfg.session.flow(make_app(app_name, cfg.scale), V2, precision)
+        report = flow.tune_report()
+        met = all(
+            db >= target for db in report.result.achieved_db.values()
+        )
+        failures += 0 if met else 1
+        source = "cache" if report.cached else "search"
+        achieved = min(
+            report.result.achieved_db.values(), default=float("nan")
+        )
+        print(
+            f"  {app_name:8s} {report.evaluations:5d} evaluations "
+            f"({source}, {report.wall_time_s:.2f}s)  "
+            f"worst {achieved:6.1f} dB  "
+            + ("target met" if met else "TARGET MISSED")
+        )
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -146,10 +211,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        choices=_ORDER + ["all", "run"],
+        choices=_ORDER + ["all", "run", "tune"],
         help=(
             "which table/figure to regenerate; 'run' warms the "
-            "persistent result store for the whole experiment grid"
+            "persistent result store for the whole experiment grid; "
+            "'tune' runs just the precision-tuning step (see "
+            "--strategy / --list-strategies)"
         ),
     )
     parser.add_argument(
@@ -202,19 +269,49 @@ def main(argv: list[str] | None = None) -> int:
             "constant numpy kernels, bit-identical but much faster)"
         ),
     )
+    parser.add_argument(
+        "--strategy",
+        default="greedy",
+        choices=strategy_names(),
+        help=(
+            "precision-tuning strategy (greedy: the paper's "
+            "DistributedSearch, the default; bisect: same targets, far "
+            "fewer evaluations; cast_aware: adds the cast-cost merge "
+            "phase; anneal: seeded random-restart annealing)"
+        ),
+    )
+    parser.add_argument(
+        "--list-strategies",
+        action="store_true",
+        help="with 'tune': list the registered tuning strategies and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.list_strategies:
+        if "tune" not in args.experiments:
+            parser.error(
+                "--list-strategies is part of the 'tune' command "
+                "(try: repro tune --list-strategies)"
+            )
+        print(_list_strategies())
+        return 0
 
     wanted = list(args.experiments)
     if "all" in wanted:
         wanted = [name for name in wanted if name != "all"] + [
             name for name in _ORDER if name not in wanted
         ]
-    session = Session(backend=args.backend, cache_dir=args.cache_dir)
+    session = Session(
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        default_strategy=args.strategy,
+    )
     config_kwargs = dict(
         scale=args.scale,
         cache_dir=args.cache_dir,
         store_dir=args.store_dir,
         jobs=args.jobs,
+        strategy=args.strategy,
         session=session,
     )
     if args.apps:
@@ -223,12 +320,15 @@ def main(argv: list[str] | None = None) -> int:
         )
     cfg = ExperimentConfig(**config_kwargs)
 
+    exit_code = 0
     for name in wanted:
         start = time.time()
         if name == "formats":
             print(_render_formats())
         elif name == "fpu":
             print(_render_fpu())
+        elif name == "tune":
+            exit_code = _run_tune(cfg) or exit_code
         elif name == "run":
             cfg.progress = _progress_printer
             cfg.runner.progress = _progress_printer
@@ -248,7 +348,7 @@ def main(argv: list[str] | None = None) -> int:
             print(driver.render(result))
         elapsed = time.time() - start
         print(f"\n[{name} done in {elapsed:.1f}s]\n")
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

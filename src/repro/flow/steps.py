@@ -5,7 +5,10 @@ Five steps, end to end:
 1. **Replace types** -- application sources use FlexFloat-typed variables
    (our apps are written that way: the binding parametrizes every
    variable's format).
-2. **Tune precision** -- DistributedSearch explores precision bits per
+2. **Tune precision** -- a pluggable tuning strategy (``greedy`` --
+   the paper's DistributedSearch -- ``bisect``, ``cast_aware``,
+   ``anneal``, or anything registered via
+   :func:`repro.tuning.register_strategy`) explores precision bits per
    variable through the FlexFloat wrapper against an SQNR target.
 3. **Map to supported types** -- tuned precisions become storage formats
    of the chosen type system (V1/V2).
@@ -37,10 +40,15 @@ from repro.core import FPFormat, Stats
 from repro.hardware import Program, RunReport, VirtualPlatform
 from repro.session import Session, get_session
 from repro.tuning import (
-    DistributedSearch,
+    DEFAULT_STRATEGY,
+    TuningProblem,
+    TuningReport,
     TuningResult,
+    TuningStrategy,
     TypeSystem,
     precision_to_sqnr_db,
+    registered_name,
+    resolve_strategy,
 )
 from repro.apps import TransprecisionApp
 from repro.util import write_json_atomic
@@ -69,6 +77,9 @@ class FlowResult:
     stats: Stats
     baseline_report: RunReport
     tuned_report: RunReport
+    #: Name of the tuning strategy that produced ``tuning`` (results of
+    #: different strategies are keyed apart everywhere downstream).
+    strategy: str = DEFAULT_STRATEGY
 
     @property
     def cycles_ratio(self) -> float:
@@ -108,6 +119,7 @@ class FlowResult:
             "stats": self.stats.to_payload(),
             "baseline_report": self.baseline_report.to_payload(),
             "tuned_report": self.tuned_report.to_payload(),
+            "strategy": self.strategy,
         }
 
     @classmethod
@@ -116,6 +128,7 @@ class FlowResult:
             app=payload["app"],
             type_system=payload["type_system"],
             precision=float(payload["precision"]),
+            strategy=payload.get("strategy", DEFAULT_STRATEGY),
             tuning=TuningResult.from_payload(payload["tuning"]),
             binding={
                 name: FPFormat.from_payload(fmt)
@@ -148,6 +161,10 @@ class TransprecisionFlow:
     session:
         The :class:`repro.session.Session` to execute under; defaults to
         the session active at :meth:`run`/:meth:`tune` time.
+    strategy:
+        Tuning strategy -- a registry name or instance.  When omitted,
+        the session's default strategy applies (``greedy`` unless the
+        session says otherwise).
     """
 
     def __init__(
@@ -158,12 +175,19 @@ class TransprecisionFlow:
         cache_dir: "Path | str | None" = _UNSET,
         platform: VirtualPlatform | None = None,
         session: Session | None = None,
+        strategy: "str | TuningStrategy | None" = None,
     ) -> None:
         self.app = app
         self.type_system = type_system
         self.precision = precision
         self.target_db = precision_to_sqnr_db(precision)
         self.session = session
+        if strategy is not None:
+            self.strategy = registered_name(strategy)
+        elif session is not None:
+            self.strategy = session.default_strategy
+        else:
+            self.strategy = None  # resolved lazily from the active session
         if cache_dir is _UNSET:
             self.cache_dir: Path | None = (
                 session.cache_dir if session is not None else None
@@ -183,32 +207,68 @@ class TransprecisionFlow:
         """The session this flow executes under."""
         return self.session if self.session is not None else get_session()
 
+    @property
+    def strategy_name(self) -> str:
+        """The tuning strategy this flow resolves to (never ``None``)."""
+        if self.strategy is not None:
+            return self.strategy
+        return self._session().default_strategy
+
     # ------------------------------------------------------------------
     # Step 2 (+3): tuning with a disk cache
     # ------------------------------------------------------------------
     def _cache_path(self) -> Path | None:
         if self.cache_dir is None:
             return None
+        # The default strategy keeps the legacy key so pre-existing
+        # caches stay valid; every other strategy gets its own file --
+        # a cast-aware and a greedy run of the same grid point must
+        # never collide.
+        strategy = self.strategy_name
+        tag = "" if strategy == DEFAULT_STRATEGY else f"-{strategy}"
         key = (
             f"{self.app.name}-{self.app.scale.name}"
-            f"-{self.type_system.name}-{self.precision:g}.json"
+            f"-{self.type_system.name}-{self.precision:g}{tag}.json"
         )
         return self.cache_dir / key
 
-    def tune(self, input_ids=None) -> TuningResult:
-        """Step 2: run (or load) the precision search."""
+    def tune_report(self, input_ids=None) -> TuningReport:
+        """Step 2 with accounting: run (or load) the precision search.
+
+        The disk cache stores the bare :class:`TuningResult` (the same
+        bytes as always for the default strategy); a cache hit costs
+        nothing now, so the report carries ``cached=True``, zero wall
+        time, and the evaluation count the original search spent.
+        """
+        strategy = resolve_strategy(self.strategy_name)
         path = self._cache_path()
         if path is not None and path.exists():
             # Cache hits need no session: nothing is executed.
-            return TuningResult.from_payload(json.loads(path.read_text()))
-        search = DistributedSearch(self.app, self.type_system, self.target_db)
+            result = TuningResult.from_payload(json.loads(path.read_text()))
+            return TuningReport(
+                strategy=strategy.name,
+                result=result,
+                evaluations=result.evaluations,
+                wall_time_s=0.0,
+                cached=True,
+            )
+        problem = TuningProblem(
+            program=self.app,
+            type_system=self.type_system,
+            target_db=self.target_db,
+            input_ids=tuple(input_ids) if input_ids is not None else None,
+        )
         with self._session():
-            result = search.tune(input_ids)
+            report = strategy.solve(problem)
         if path is not None:
             # Atomic write: parallel runner workers share this cache, and
             # a reader must never see a half-written JSON.
-            write_json_atomic(path, result.to_payload())
-        return result
+            write_json_atomic(path, report.result.to_payload())
+        return report
+
+    def tune(self, input_ids=None) -> TuningResult:
+        """Step 2: run (or load) the precision search."""
+        return self.tune_report(input_ids).result
 
     # ------------------------------------------------------------------
     def run(self, input_id: int = 0) -> FlowResult:
@@ -230,6 +290,7 @@ class TransprecisionFlow:
                 app=self.app.name,
                 type_system=self.type_system.name,
                 precision=self.precision,
+                strategy=self.strategy_name,
                 tuning=tuning,
                 binding=binding,
                 stats=stats,

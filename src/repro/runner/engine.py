@@ -33,7 +33,12 @@ from typing import Callable, Iterable, Sequence
 from repro.flow import FlowResult
 from repro.hardware import RunReport
 from repro.session import Session
-from repro.tuning import TypeSystem, register_type_system, type_system
+from repro.tuning import (
+    TypeSystem,
+    register_type_system,
+    resolve_strategy,
+    type_system,
+)
 
 from .jobs import compute_flow, compute_report
 from .store import JobSpec, ResultStore
@@ -94,7 +99,10 @@ def execute_job(runner_spec: dict, job: JobSpec) -> dict:
     else:
 
         def get_flow(app: str, ts: str, precision: float) -> FlowResult:
-            flow_spec = JobSpec("flow", app, job.scale, ts, precision)
+            flow_spec = JobSpec(
+                "flow", app, job.scale, ts, precision,
+                strategy=job.strategy,
+            )
             flow_payload = store.load(flow_spec)
             if flow_payload is not None:
                 return FlowResult.from_payload(flow_payload)
@@ -147,6 +155,10 @@ class ExperimentRunner:
     ) -> None:
         self.session = session if session is not None else Session()
         self.scale = scale
+        #: Strategy jobs default to; per-spec overrides win (see
+        #: :meth:`flow_spec`).  Follows the session so a bisection
+        #: session drives a bisection campaign without extra plumbing.
+        self.default_strategy = self.session.default_strategy
         self.jobs = max(1, int(jobs))
         self.progress = progress
         self.cache_dir = (
@@ -166,10 +178,15 @@ class ExperimentRunner:
     # Grid materialization
     # ------------------------------------------------------------------
     def flow_spec(
-        self, app: str, ts: "str | TypeSystem", precision: float
+        self,
+        app: str,
+        ts: "str | TypeSystem",
+        precision: float,
+        strategy: "str | None" = None,
     ) -> JobSpec:
         return JobSpec(
-            "flow", app, self.scale, self._ts_name(ts), float(precision)
+            "flow", app, self.scale, self._ts_name(ts), float(precision),
+            strategy=self._strategy_name(strategy),
         )
 
     def report_spec(
@@ -178,10 +195,12 @@ class ExperimentRunner:
         app: str,
         ts: "str | TypeSystem | None" = None,
         precision: float = 0.0,
+        strategy: "str | None" = None,
     ) -> JobSpec:
         ts_name = "" if ts is None else self._ts_name(ts)
         return JobSpec(
-            "report", app, self.scale, ts_name, float(precision), variant
+            "report", app, self.scale, ts_name, float(precision), variant,
+            strategy=self._strategy_name(strategy),
         )
 
     @staticmethod
@@ -199,15 +218,22 @@ class ExperimentRunner:
             return ts.name
         return type_system(ts).name
 
+    def _strategy_name(self, strategy: "str | None") -> str:
+        """Reduce a strategy to its registry name for the job key."""
+        if strategy is None:
+            return self.default_strategy
+        return resolve_strategy(strategy).name
+
     def grid(
         self,
         apps: Sequence[str],
         type_systems: Sequence["str | TypeSystem"],
         precisions: Sequence[float],
+        strategy: "str | None" = None,
     ) -> list[JobSpec]:
         """Flow jobs for the full cross product, apps-major order."""
         return [
-            self.flow_spec(app, ts, precision)
+            self.flow_spec(app, ts, precision, strategy=strategy)
             for app in apps
             for ts in type_systems
             for precision in precisions
@@ -217,10 +243,14 @@ class ExperimentRunner:
     # Single-result access (the drivers' entry point)
     # ------------------------------------------------------------------
     def flow(
-        self, app: str, ts: "str | TypeSystem", precision: float
+        self,
+        app: str,
+        ts: "str | TypeSystem",
+        precision: float,
+        strategy: "str | None" = None,
     ) -> FlowResult:
         """The flow result for one grid point (memo -> store -> compute)."""
-        return self._fetch(self.flow_spec(app, ts, precision))
+        return self._fetch(self.flow_spec(app, ts, precision, strategy))
 
     def report(
         self,
@@ -228,9 +258,12 @@ class ExperimentRunner:
         app: str,
         ts: "str | TypeSystem | None" = None,
         precision: float = 0.0,
+        strategy: "str | None" = None,
     ) -> RunReport:
         """A derived platform report (memo -> store -> compute)."""
-        return self._fetch(self.report_spec(variant, app, ts, precision))
+        return self._fetch(
+            self.report_spec(variant, app, ts, precision, strategy)
+        )
 
     # ------------------------------------------------------------------
     # Execution
@@ -367,7 +400,9 @@ class ExperimentRunner:
             result = compute_report(
                 spec,
                 self.session,
-                lambda app, ts, precision: self.flow(app, ts, precision),
+                lambda app, ts, precision: self.flow(
+                    app, ts, precision, strategy=spec.strategy
+                ),
             )
         self.counters.computed += 1
         self.store.save(spec, result.to_payload())

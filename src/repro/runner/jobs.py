@@ -62,6 +62,7 @@ def compute_flow(
         job.precision,
         cache_dir=cache_dir if cache_dir is not None else session.cache_dir,
         session=session,
+        strategy=job.strategy,
     )
     return flow.run()
 
@@ -88,16 +89,17 @@ def _baseline(
 
 #: Tuned kernels rebuilt for report variants, keyed by grid point.
 #: Program construction is deterministic in (app, scale, binding) --
-#: and the binding is determined by the grid point -- so one build can
-#: serve every variant (castless and fast16 would otherwise each re-run
-#: the full emulated kernel build per app).  Bounded by the grid size.
+#: and the binding is determined by the grid point, tuning strategy
+#: included -- so one build can serve every variant (castless and
+#: fast16 would otherwise each re-run the full emulated kernel build
+#: per app).  Bounded by the grid size.
 _TUNED_PROGRAMS: dict[tuple, Program] = {}
 
 
 def _tuned_program(
     job: JobSpec, session: Session, get_flow: FlowLoader
 ) -> Program:
-    key = (job.app, job.scale, job.type_system, job.precision)
+    key = (job.app, job.scale, job.type_system, job.precision, job.strategy)
     if key not in _TUNED_PROGRAMS:
         flow = get_flow(job.app, job.type_system, job.precision)
         app = make_app(job.app, job.scale)

@@ -27,13 +27,15 @@ import json
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.tuning.api import DEFAULT_STRATEGY
 from repro.util import write_json_atomic
 
 __all__ = ["STORE_VERSION", "JobSpec", "ResultStore", "default_store_dir"]
 
 #: Bump when the payload schema or result semantics change; old entries
 #: are ignored (and can be wiped with ``ResultStore.wipe()``).
-STORE_VERSION = 1
+#: v2: envelope keys and flow payloads carry the tuning-strategy name.
+STORE_VERSION = 2
 
 
 def default_store_dir() -> Path:
@@ -48,9 +50,12 @@ class JobSpec:
     ``kind`` is ``"flow"`` (the five-step flow, yielding a
     :class:`~repro.flow.FlowResult`) or ``"report"`` (a derived virtual-
     platform replay, yielding a :class:`~repro.hardware.RunReport`;
-    ``variant`` names which one).  Frozen and built from primitives, so
-    specs are hashable dict keys and pickle cleanly across the process
-    pool.
+    ``variant`` names which one).  ``strategy`` names the tuning
+    strategy the job's flow (or the report's parent flow) uses; it is
+    part of the identity whenever the job depends on a tuning, so a
+    bisection campaign can never alias stored greedy results.  Frozen
+    and built from primitives, so specs are hashable dict keys and
+    pickle cleanly across the process pool.
     """
 
     kind: str
@@ -59,6 +64,7 @@ class JobSpec:
     type_system: str = ""
     precision: float = 0.0
     variant: str = ""
+    strategy: str = DEFAULT_STRATEGY
 
     def __post_init__(self) -> None:
         if self.kind not in ("flow", "report"):
@@ -67,15 +73,27 @@ class JobSpec:
             raise ValueError("report jobs need a variant name")
         if self.kind == "flow" and not self.type_system:
             raise ValueError("flow jobs need a type system")
+        if not self.type_system and self.strategy != DEFAULT_STRATEGY:
+            # Tuning-independent jobs (e.g. the binary32 baseline
+            # replay) are identical under every strategy: normalize so
+            # campaigns run under any strategy share those entries.
+            object.__setattr__(self, "strategy", DEFAULT_STRATEGY)
 
     # ------------------------------------------------------------------
     def key_fields(self) -> tuple[str, ...]:
-        """The identity fields that address this job in the store."""
+        """The identity fields that address this job in the store.
+
+        The default strategy is omitted (keeping its keys identical to
+        the pre-strategy layout); any other strategy is appended, same
+        rule as the backend and environment tags.
+        """
         parts = [self.variant] if self.variant else []
         parts += [self.app, self.scale]
         if self.type_system:
             parts.append(self.type_system)
             parts.append(f"{self.precision:g}")
+        if self.strategy != DEFAULT_STRATEGY:
+            parts.append(self.strategy)
         return tuple(parts)
 
     def describe(self) -> str:
@@ -85,6 +103,8 @@ class JobSpec:
             fields += [self.type_system, f"{self.precision:g}"]
         if self.variant:
             fields.append(self.variant)
+        if self.strategy != DEFAULT_STRATEGY:
+            fields.append(self.strategy)
         return f"{self.kind} {' '.join(fields)}"
 
 
@@ -146,6 +166,7 @@ class ResultStore:
             "type_system": spec.type_system,
             "precision": spec.precision,
             "variant": spec.variant,
+            "strategy": spec.strategy,
             "backend": self.backend,
             "env": self.env,
         }

@@ -9,7 +9,10 @@ library used to re-derive by hand:
   :mod:`repro.core.stats`; now scoped to the session's execution
   context),
 * the floating-point format environment,
-* the tuning-result cache directory, and
+* the tuning-result cache directory,
+* the default precision-tuning strategy (``greedy``, ``bisect``,
+  ``cast_aware``, ``anneal``, or anything registered via
+  :func:`repro.tuning.register_strategy`), and
 * the :class:`~repro.hardware.VirtualPlatform` the kernels are timed on.
 
 Construct one and pass it down -- ``TransprecisionFlow``, the analysis
@@ -85,6 +88,10 @@ class Session:
     formats:
         The format environment (defaults to the paper's extended type
         system plus binary64).
+    default_strategy:
+        Tuning strategy (registry name or instance) flows use when they
+        do not name one themselves; ``greedy`` -- the pre-registry
+        behaviour -- unless told otherwise.
     """
 
     def __init__(
@@ -93,8 +100,11 @@ class Session:
         cache_dir: str | Path | None = None,
         platform: "VirtualPlatform | None" = None,
         formats: Sequence[FPFormat] = STANDARD_FORMATS,
+        default_strategy=None,
         _context: ExecutionContext | None = None,
     ) -> None:
+        from .tuning import registered_name
+
         self._context = (
             _context if _context is not None else ExecutionContext(backend)
         )
@@ -103,6 +113,10 @@ class Session:
         )
         self._platform = platform
         self.formats: tuple[FPFormat, ...] = tuple(formats)
+        # Resolve eagerly: a typo'd strategy name (or a configured
+        # instance the registry cannot rebuild by name) should fail at
+        # session construction, not deep inside the first flow.
+        self._default_strategy = registered_name(default_strategy)
 
     # ------------------------------------------------------------------
     # Owned state
@@ -123,6 +137,11 @@ class Session:
     @property
     def cache_dir(self) -> Path:
         return self._cache_dir
+
+    @property
+    def default_strategy(self) -> str:
+        """Name of the tuning strategy flows fall back to."""
+        return self._default_strategy
 
     @property
     def platform(self) -> "VirtualPlatform":
@@ -187,8 +206,9 @@ class Session:
         an equivalent session.
 
         Only durable configuration crosses a process boundary -- the
-        backend *name*, the cache directory, and the platform/format
-        *configuration* (constants, not objects) -- never live context
+        backend *name*, the cache directory, the default tuning-strategy
+        *name*, and the platform/format *configuration* (constants, not
+        objects) -- never live context
         state (collectors, vector-region depth): each worker owns a
         fresh execution context, so no statistics or backend state can
         leak between processes.  A session configured with a custom
@@ -219,6 +239,7 @@ class Session:
         return {
             "backend": self.backend.name,
             "cache_dir": str(self._cache_dir),
+            "strategy": self._default_strategy,
             # None = the lazily-built default platform.
             "platform": (
                 self._platform.to_payload()
@@ -281,6 +302,7 @@ class Session:
             cache_dir=spec["cache_dir"],
             platform=platform,
             formats=formats,
+            default_strategy=spec.get("strategy"),
         )
 
     # ------------------------------------------------------------------

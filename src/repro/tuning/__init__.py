@@ -1,6 +1,13 @@
-"""Precision tuning: SQNR metric, type systems, DistributedSearch, wrapper.
+"""Precision tuning: SQNR metric, type systems, pluggable strategies.
 
-Typical use::
+Typical use, strategy API (preferred)::
+
+    from repro.tuning import TuningProblem, V2, resolve_strategy
+    problem = TuningProblem.for_precision(app, V2, 1e-1)
+    report = resolve_strategy("bisect").solve(problem)
+    binding = report.result.storage_binding(V2)
+
+or driving a search class directly::
 
     from repro.tuning import DistributedSearch, V2, precision_to_sqnr_db
     search = DistributedSearch(app, V2, precision_to_sqnr_db(1e-1))
@@ -8,6 +15,22 @@ Typical use::
     binding = result.storage_binding(V2)
 """
 
+from .anneal import AnnealingSearch
+from .api import (
+    DEFAULT_STRATEGY,
+    AnnealingStrategy,
+    BisectionStrategy,
+    CastAwareStrategy,
+    GreedyStrategy,
+    TuningProblem,
+    TuningReport,
+    TuningStrategy,
+    register_strategy,
+    registered_name,
+    resolve_strategy,
+    strategy_names,
+)
+from .bisect import BisectionSearch
 from .castaware import CastAwareSearch, estimate_cost_pj
 from .mapping import (
     MAX_PRECISION_BITS,
@@ -26,7 +49,12 @@ from .range_analysis import (
     fitting_formats,
 )
 from .refine import refine
-from .search import DistributedSearch, InfeasibleError, TuningResult
+from .search import (
+    BudgetExceededError,
+    DistributedSearch,
+    InfeasibleError,
+    TuningResult,
+)
 from .sqnr import (
     PRECISION_LEVELS,
     meets_target,
@@ -48,6 +76,21 @@ from .wrapper import (
 )
 
 __all__ = [
+    "DEFAULT_STRATEGY",
+    "TuningProblem",
+    "TuningReport",
+    "TuningStrategy",
+    "GreedyStrategy",
+    "BisectionStrategy",
+    "CastAwareStrategy",
+    "AnnealingStrategy",
+    "register_strategy",
+    "registered_name",
+    "resolve_strategy",
+    "strategy_names",
+    "AnnealingSearch",
+    "BisectionSearch",
+    "BudgetExceededError",
     "CastAwareSearch",
     "estimate_cost_pj",
     "TypeSystem",

@@ -1,0 +1,153 @@
+"""Random-restart annealing over precision assignments.
+
+The greedy and bisection searches both walk *constructively*: they only
+ever move along trajectories where each step is locally justified, which
+is exactly where non-monotone applications bite.  Crossing the
+binary16alt -> binary16 interval boundary trades exponent for mantissa
+bits, so a program's feasibility landscape over precision assignments
+can have ridges a constructive search never crosses: lowering variable A
+is infeasible *unless* variable B is simultaneously raised.
+
+:class:`AnnealingSearch` attacks those landscapes stochastically:
+
+1. **Feasibility** -- identical to the base search.
+2. **Uniform seed** -- the walk starts from the smallest feasible
+   *uniform* assignment: every declared variable at one precision
+   (conceptually :func:`repro.tuning.variables.uniform_binding` at the
+   seed precision realised through the type system's search formats),
+   found by the shared
+   :meth:`~repro.tuning.search.DistributedSearch._uniform_minimum`
+   bisection.
+3. **Annealed walk, restarted** -- from the seed (and, on later
+   restarts, from the best assignment found so far), propose single
+   variable +/-1-bit moves biased toward decreases; infeasible
+   proposals are always rejected, cost-improving feasible ones always
+   accepted, cost-worsening feasible ones accepted with a cooling
+   ``exp(-delta/temperature)`` probability.  Cost is total precision
+   bits.  The best *feasible* assignment ever visited is returned.
+
+The walk is fully deterministic: the RNG is seeded from ``(seed,
+restart, input_id)``, so two runs -- or a serial run and a pool worker
+-- produce identical results.  The *walk* honours the evaluation budget
+cooperatively: it stops proposing once
+:meth:`~repro.tuning.search.DistributedSearch.budget_remaining` hits
+zero and keeps the best assignment found so far (an incumbent always
+exists: the uniform seed).  The correctness-mandatory phases -- the
+feasibility check, the uniform seeding of each input, and the shared
+multi-input refinement -- cannot be skipped, so a budget too small to
+cover them still fails loudly with
+:class:`~repro.tuning.search.BudgetExceededError` rather than
+returning an unvalidated assignment.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .mapping import MAX_PRECISION_BITS, TypeSystem
+from .search import DistributedSearch, InfeasibleError
+from .variables import TunableProgram
+
+__all__ = ["AnnealingSearch"]
+
+
+class AnnealingSearch(DistributedSearch):
+    """DistributedSearch with a seeded random-restart annealing walk.
+
+    Parameters (beyond the base search's)
+    -------------------------------------
+    seed:
+        Root RNG seed; the per-walk seed also mixes in the restart index
+        and the input id so every walk is independent yet reproducible.
+    restarts:
+        Number of annealing walks per input set.
+    steps:
+        Proposals per walk.
+    initial_temp / cooling:
+        Metropolis temperature schedule (multiplicative cooling per
+        proposal).
+    """
+
+    def __init__(
+        self,
+        program: TunableProgram,
+        type_system: TypeSystem,
+        target_db: float,
+        max_precision: int = MAX_PRECISION_BITS,
+        budget: int | None = None,
+        seed: int = 0,
+        restarts: int = 2,
+        steps: int = 48,
+        initial_temp: float = 3.0,
+        cooling: float = 0.94,
+    ) -> None:
+        super().__init__(
+            program, type_system, target_db, max_precision, budget
+        )
+        self.seed = seed
+        self.restarts = restarts
+        self.steps = steps
+        self.initial_temp = initial_temp
+        self.cooling = cooling
+
+    # ------------------------------------------------------------------
+    def tune_single_input(self, input_id: int = 0) -> dict[str, int]:
+        """Phases 1-3 for one input set; returns precision bits per var."""
+        at_max = {name: self._max_p for name in self._names}
+        if not self._meets(at_max, input_id):
+            raise InfeasibleError(
+                f"{self._program.name}: target {self._target:.1f} dB "
+                f"unreachable at {self._max_p} precision bits "
+                f"(got {self.evaluate(at_max, input_id):.1f} dB)"
+            )
+
+        uniform = self._uniform_minimum(input_id)
+        best = {name: uniform for name in self._names}
+        best_cost = self._cost(best)
+        for restart in range(self.restarts):
+            rng = np.random.default_rng([self.seed, restart, input_id])
+            best, best_cost = self._walk(
+                rng, dict(best), best, best_cost, input_id
+            )
+        return best
+
+    # ------------------------------------------------------------------
+    def _cost(self, precisions: dict[str, int]) -> int:
+        return sum(precisions.values())
+
+    def _walk(
+        self,
+        rng: np.random.Generator,
+        current: dict[str, int],
+        best: dict[str, int],
+        best_cost: int,
+        input_id: int,
+    ):
+        """One annealing walk; returns the updated (best, best_cost)."""
+        current_cost = self._cost(current)
+        temp = self.initial_temp
+        for _ in range(self.steps):
+            if self.budget_remaining() <= 0:
+                break
+            name = self._names[rng.integers(len(self._names))]
+            delta = -1 if rng.random() < 0.7 else 1
+            candidate = min(
+                self._max_p, max(1, current[name] + delta)
+            )
+            temp = max(temp * self.cooling, 1e-6)
+            if candidate == current[name]:
+                continue
+            trial = dict(current)
+            trial[name] = candidate
+            if not self._meets(trial, input_id):
+                continue
+            trial_cost = self._cost(trial)
+            worse = trial_cost - current_cost
+            if worse > 0 and rng.random() >= math.exp(-worse / temp):
+                continue
+            current, current_cost = trial, trial_cost
+            if current_cost < best_cost:
+                best, best_cost = dict(current), current_cost
+        return best, best_cost

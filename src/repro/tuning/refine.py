@@ -7,6 +7,15 @@ followed by validation: if some input still misses the target (possible
 because even the maximum can interact differently with other variables'
 precisions), the greedy repair loop hands out additional bits against the
 failing input until every input passes.
+
+Validation sweeps run to a fixpoint: SQNR is not monotone in a single
+variable's precision (rounding points move with the mantissa width, and
+programs with discrete selections -- KNN's argmin, say -- can flip), so
+a bit granted against one input can un-satisfy an input validated
+earlier in the sweep.  Sweeping until every input passes in one clean
+pass restores the contract; each grant strictly increases total
+precision bits, so the loop terminates (or the repair raises
+``InfeasibleError`` at maximum precision).
 """
 
 from __future__ import annotations
@@ -33,7 +42,11 @@ def refine(
         for name in names
     }
 
-    for input_id in sorted(per_input):
-        while search.evaluate(joined, input_id) < search.target_db:
-            search.grant_best_bit(joined, input_id)
+    granted = True
+    while granted:
+        granted = False
+        for input_id in sorted(per_input):
+            while search.evaluate(joined, input_id) < search.target_db:
+                search.grant_best_bit(joined, input_id)
+                granted = True
     return joined

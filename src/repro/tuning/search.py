@@ -43,11 +43,28 @@ from .mapping import MAX_PRECISION_BITS, TypeSystem
 from .sqnr import sqnr_db
 from .variables import TunableProgram, VarSpec, baseline_binding
 
-__all__ = ["DistributedSearch", "TuningResult", "InfeasibleError"]
+__all__ = [
+    "DistributedSearch",
+    "TuningResult",
+    "InfeasibleError",
+    "BudgetExceededError",
+]
 
 
 class InfeasibleError(RuntimeError):
     """The program misses the SQNR target even at maximum precision."""
+
+
+class BudgetExceededError(RuntimeError):
+    """The search needed more program evaluations than its budget allows.
+
+    Raised by :meth:`DistributedSearch.evaluate` the moment an *uncached*
+    evaluation would exceed the evaluation budget (cache hits stay free),
+    so a capped search fails loudly instead of silently overrunning.
+    Budget-aware strategies (see :mod:`repro.tuning.anneal`) check
+    :meth:`DistributedSearch.budget_remaining` and stop proposing moves
+    before this fires.
+    """
 
 
 @dataclass
@@ -147,6 +164,10 @@ class DistributedSearch:
         SQNR constraint the program output must satisfy.
     max_precision:
         Upper precision bound (default: binary32's 24 bits).
+    budget:
+        Optional hard cap on *uncached* ``evaluate()`` calls; exceeding
+        it raises :class:`BudgetExceededError`.  ``None`` (the default)
+        means unlimited, which is the pre-budget behaviour.
     """
 
     def __init__(
@@ -155,11 +176,13 @@ class DistributedSearch:
         type_system: TypeSystem,
         target_db: float,
         max_precision: int = MAX_PRECISION_BITS,
+        budget: int | None = None,
     ) -> None:
         self._program = program
         self._ts = type_system
         self._target = target_db
         self._max_p = max_precision
+        self._budget = budget
         self._names = [spec.name for spec in program.variables()]
         self._cache: dict[tuple, float] = {}
         self._references: dict[int, np.ndarray] = {}
@@ -187,6 +210,11 @@ class DistributedSearch:
         """SQNR (dB) of the program under a precision assignment."""
         key = (input_id, tuple(precisions[name] for name in self._names))
         if key not in self._cache:
+            if self._budget is not None and self.evaluations >= self._budget:
+                raise BudgetExceededError(
+                    f"{self._program.name}: evaluation budget of "
+                    f"{self._budget} exhausted"
+                )
             output = self._program.run(self._binding(precisions), input_id)
             self._cache[key] = sqnr_db(self._reference(input_id), output)
             self.evaluations += 1
@@ -197,8 +225,33 @@ class DistributedSearch:
         """The SQNR constraint this search works against."""
         return self._target
 
+    def budget_remaining(self) -> float:
+        """Uncached evaluations left before the budget trips (inf if none)."""
+        if self._budget is None:
+            return math.inf
+        return max(0, self._budget - self.evaluations)
+
     def _meets(self, precisions: Mapping[str, int], input_id: int) -> bool:
         return self.evaluate(precisions, input_id) >= self._target
+
+    def _uniform_minimum(self, input_id: int) -> int:
+        """Smallest *uniform* precision (all variables equal) meeting
+        the target -- the bisection strategy's starting point and the
+        annealer's seed assignment.
+
+        The upper bound ``max_p`` must be known feasible (callers check
+        feasibility first), and the bound is only lowered onto
+        verified-feasible midpoints, so the returned precision is
+        feasible even where feasibility is not monotone.
+        """
+        lo, hi = 1, self._max_p
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._meets({n: mid for n in self._names}, input_id):
+                hi = mid
+            else:
+                lo = mid + 1
+        return hi
 
     # ------------------------------------------------------------------
     # The heuristic

@@ -65,3 +65,67 @@ class TestBackendFlag:
     def test_unknown_backend_rejected(self):
         with pytest.raises(SystemExit):
             main(["formats", "--backend", "turbo"])
+
+
+class TestStrategyFlag:
+    def test_list_strategies(self, capsys):
+        assert main(["tune", "--list-strategies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("greedy", "bisect", "cast_aware", "anneal"):
+            assert name in out
+        assert "(default)" in out
+
+    def test_tune_command_meets_target(self, capsys, tmp_path):
+        args = [
+            "tune",
+            "--scale", "tiny",
+            "--apps", "conv",
+            "--strategy", "bisect",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "strategy bisect" in out
+        assert "target met" in out
+        # The strategy-keyed cache file landed on disk.
+        assert list(tmp_path.glob("*bisect*.json"))
+
+        # A re-run replays the cache (zero new evaluations spent now).
+        assert main(args) == 0
+        assert "cache" in capsys.readouterr().out
+
+    def test_driver_accepts_strategy(self, capsys, tmp_path):
+        code = main(
+            [
+                "motivation",
+                "--scale", "tiny",
+                "--apps", "conv",
+                "--strategy", "bisect",
+                "--cache-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert "fleet avg" in capsys.readouterr().out
+
+    def test_strategies_driver_renders_table(self, capsys, tmp_path):
+        code = main(
+            [
+                "strategies",
+                "--scale", "tiny",
+                "--apps", "conv",
+                "--cache-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "vs greedy" in out
+        assert "bisect" in out
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["formats", "--strategy", "magic"])
+
+    def test_list_strategies_requires_tune(self):
+        # The flag must not silently swallow other requested work.
+        with pytest.raises(SystemExit):
+            main(["fig6", "--list-strategies"])

@@ -1,0 +1,47 @@
+"""Tests for the strategy-comparison ablation driver."""
+
+from repro.analysis import ExperimentConfig, strategies
+from repro.tuning import strategy_names
+
+
+def make_cfg(tmp_path):
+    return ExperimentConfig(
+        scale="tiny",
+        cache_dir=tmp_path / "cache",
+        store_dir=tmp_path / "store",
+        precisions=(1e-1,),
+        apps=("conv",),
+    )
+
+
+class TestStrategiesDriver:
+    def test_covers_every_registered_strategy(self, tmp_path):
+        result = strategies.compute(make_cfg(tmp_path))
+        per = result["rows"]["conv"]
+        assert set(per) == set(strategy_names())
+        assert all(d["met"] for d in per.values())
+        assert all(d["evaluations"] > 0 for d in per.values())
+
+    def test_bisection_beats_greedy_accounting(self, tmp_path):
+        per = strategies.compute(make_cfg(tmp_path))["rows"]["conv"]
+        assert per["bisect"]["evaluations"] < per["greedy"]["evaluations"]
+
+    def test_second_run_is_pure_cache_hits(self, tmp_path):
+        cfg = make_cfg(tmp_path)
+        strategies.compute(cfg)
+        rerun = strategies.compute(make_cfg(tmp_path))
+        per = rerun["rows"]["conv"]
+        assert all(d["cached"] for d in per.values())
+        # Accounting survives the cache: evaluation counts are the
+        # original search's, not zero.
+        assert all(d["evaluations"] > 0 for d in per.values())
+        # The runner was never involved (tuning-cache only).
+        assert cfg.runner.counters.total == 0
+
+    def test_render_mentions_strategies_and_savings(self, tmp_path):
+        result = strategies.compute(make_cfg(tmp_path))
+        text = strategies.render(result)
+        assert "strategy" in text
+        for name in strategy_names():
+            assert name in text
+        assert "vs greedy" in text

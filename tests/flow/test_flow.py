@@ -85,3 +85,104 @@ class TestReports:
         flow = TransprecisionFlow(app, V2, 1e-1, cache_dir=None)
         result = flow.run()
         assert result.tuned_report.cycles > 0
+
+
+class TestStrategyCacheKeys:
+    """Satellite regression: the tuning cache keys by strategy, so a
+    cast-aware (or bisection) run of a grid point can never collide
+    with -- and silently reuse -- a cached greedy result."""
+
+    def test_default_strategy_keeps_legacy_cache_key(self, tmp_path):
+        app = make_app("conv", "tiny")
+        flow = TransprecisionFlow(app, V2, 1e-1, cache_dir=tmp_path)
+        assert flow._cache_path().name == "conv-tiny-V2-0.1.json"
+
+    def test_strategies_get_distinct_cache_files(self, tmp_path):
+        app = make_app("conv", "tiny")
+        paths = {
+            strategy: TransprecisionFlow(
+                app, V2, 1e-1, cache_dir=tmp_path, strategy=strategy
+            )._cache_path()
+            for strategy in ("greedy", "bisect", "cast_aware", "anneal")
+        }
+        assert len(set(paths.values())) == 4
+        assert paths["cast_aware"].name == (
+            "conv-tiny-V2-0.1-cast_aware.json"
+        )
+
+    def test_non_default_strategy_never_reuses_greedy_cache(self, tmp_path):
+        app = make_app("conv", "tiny")
+        greedy = TransprecisionFlow(app, V2, 1e-1, cache_dir=tmp_path)
+        greedy_result = greedy.tune()
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+        bisect = TransprecisionFlow(
+            make_app("conv", "tiny"), V2, 1e-1,
+            cache_dir=tmp_path, strategy="bisect",
+        )
+        report = bisect.tune_report()
+        # A fresh search ran (not a cache hit) and wrote its own file.
+        assert report.cached is False
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+        # Each strategy reloads its own cached result afterwards.
+        greedy_again = TransprecisionFlow(
+            make_app("conv", "tiny"), V2, 1e-1, cache_dir=tmp_path
+        ).tune_report()
+        bisect_again = TransprecisionFlow(
+            make_app("conv", "tiny"), V2, 1e-1,
+            cache_dir=tmp_path, strategy="bisect",
+        ).tune_report()
+        assert greedy_again.cached and bisect_again.cached
+        assert greedy_again.result == greedy_result
+        assert bisect_again.result == report.result
+
+    def test_session_default_strategy_drives_flow(self, tmp_path):
+        from repro.session import Session
+
+        session = Session(
+            cache_dir=tmp_path, default_strategy="bisect"
+        )
+        flow = session.flow(make_app("conv", "tiny"), V2, 1e-1)
+        assert flow.strategy_name == "bisect"
+        assert "bisect" in flow._cache_path().name
+        # An explicit strategy still wins over the session default.
+        pinned = session.flow(
+            make_app("conv", "tiny"), V2, 1e-1, strategy="greedy"
+        )
+        assert pinned.strategy_name == "greedy"
+
+    def test_configured_unregistered_instance_refused(self, tmp_path):
+        # A flow keeps only the strategy *name*; accepting a
+        # differently configured instance of a registered name would
+        # silently swap it for the registry singleton.
+        from repro.tuning import AnnealingStrategy
+
+        with pytest.raises(TypeError, match="resolve back"):
+            TransprecisionFlow(
+                make_app("conv", "tiny"), V2, 1e-1,
+                cache_dir=tmp_path,
+                strategy=AnnealingStrategy(seed=42),
+            )
+        # The registered singleton itself passes.
+        from repro.tuning import resolve_strategy
+
+        flow = TransprecisionFlow(
+            make_app("conv", "tiny"), V2, 1e-1,
+            cache_dir=tmp_path, strategy=resolve_strategy("anneal"),
+        )
+        assert flow.strategy_name == "anneal"
+
+    def test_flow_result_records_strategy(self, tmp_path):
+        flow = TransprecisionFlow(
+            make_app("conv", "tiny"), V2, 1e-1,
+            cache_dir=tmp_path, strategy="bisect",
+        )
+        result = flow.run()
+        assert result.strategy == "bisect"
+        rebuilt = type(result).from_payload(result.to_payload())
+        assert rebuilt == result
+        # Pre-strategy payloads decode as greedy.
+        legacy = result.to_payload()
+        del legacy["strategy"]
+        assert type(result).from_payload(legacy).strategy == "greedy"

@@ -18,14 +18,17 @@ from repro.analysis import (
     fig7,
     flow_result,
     motivation,
+    strategies,
     summary,
     table1,
 )
 from repro.cli import main
+from repro.runner import STORE_VERSION
 from repro.tuning import V2
 
 ALL_DRIVERS = (
     motivation, table1, fig4, fig5, fig6, fig7, summary, ablation,
+    strategies,
 )
 
 
@@ -142,7 +145,7 @@ class TestCliRun:
         assert main(args) == 0
         out = capsys.readouterr().out
         assert "0 computed" in out     # warm: nothing recomputed
-        assert (tmp_path / "store" / "v1").exists()
+        assert (tmp_path / "store" / f"v{STORE_VERSION}").exists()
 
     def test_driver_after_cli_warmup_is_instant_hits(
         self, capsys, tmp_path

@@ -160,3 +160,56 @@ class TestStoreRoundTrip:
         assert store.wipe() == 2
         assert store.entries() == []
         assert store.load(flow_spec()) is None
+
+
+class TestStrategyKeys:
+    """Non-default strategies must never alias stored greedy results."""
+
+    def test_default_strategy_keeps_legacy_key(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = flow_spec()
+        assert spec.strategy == "greedy"
+        assert store.path(spec).name == "conv-tiny-V2-0.1-reference.json"
+
+    def test_non_default_strategy_tagged_in_path(self, tmp_path):
+        store = ResultStore(tmp_path)
+        greedy = flow_spec()
+        bisect = flow_spec(strategy="bisect")
+        assert store.path(greedy) != store.path(bisect)
+        assert "bisect" in store.path(bisect).name
+
+    def test_strategies_never_alias(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(flow_spec(), {"who": "greedy"})
+        assert store.load(flow_spec(strategy="bisect")) is None
+        store.save(flow_spec(strategy="bisect"), {"who": "bisect"})
+        assert store.load(flow_spec()) == {"who": "greedy"}
+        assert store.load(flow_spec(strategy="bisect")) == {
+            "who": "bisect"
+        }
+
+    def test_envelope_records_strategy(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save(flow_spec(strategy="anneal"), {"x": 1})
+        envelope = json.loads(path.read_text())
+        assert envelope["key"]["strategy"] == "anneal"
+
+    def test_report_with_type_system_carries_strategy(self):
+        spec = JobSpec(
+            "report", "conv", "tiny", "V2", 1e-1,
+            variant="castless", strategy="bisect",
+        )
+        assert spec.strategy == "bisect"
+        assert "bisect" in spec.describe()
+
+    def test_tuning_independent_report_normalizes_strategy(self):
+        # The binary32 baseline replay is identical under every
+        # strategy; keying it apart would only cause recomputation.
+        spec = JobSpec(
+            "report", "conv", "tiny", variant="baseline",
+            strategy="bisect",
+        )
+        assert spec.strategy == "greedy"
+        assert spec == JobSpec(
+            "report", "conv", "tiny", variant="baseline"
+        )

@@ -35,6 +35,15 @@ class TestExamples:
         out = run_example("tune_knn.py", "1e-1")
         assert "Step 5" in out
         assert "memory accesses" in out
+        # The strategy-comparison epilogue covers every solver.
+        assert "Strategy comparison" in out
+        for name in ("greedy", "bisect", "cast_aware", "anneal"):
+            assert name in out
+
+    def test_tune_knn_with_strategy(self):
+        out = run_example("tune_knn.py", "1e-1", "bisect")
+        assert "strategy bisect" in out
+        assert "Step 5" in out
 
     def test_vectorized_energy(self):
         out = run_example("vectorized_energy.py")

@@ -224,3 +224,58 @@ class TestFlowWiring:
         cfg = ExperimentConfig(scale="small", session=s)
         assert cfg.session is s
         assert cfg.resolved_cache_dir() == tmp_path
+
+
+class TestDefaultStrategy:
+    def test_defaults_to_greedy(self):
+        assert Session().default_strategy == "greedy"
+
+    def test_accepts_name_and_instance(self):
+        from repro.tuning import resolve_strategy
+
+        assert Session(default_strategy="bisect").default_strategy == (
+            "bisect"
+        )
+        instance = resolve_strategy("anneal")
+        assert Session(
+            default_strategy=instance
+        ).default_strategy == "anneal"
+
+    def test_unknown_strategy_fails_at_construction(self):
+        with pytest.raises(KeyError, match="unknown tuning strategy"):
+            Session(default_strategy="nope")
+
+    def test_spec_round_trips_strategy(self):
+        session = Session(default_strategy="bisect")
+        spec = session.spec()
+        assert spec["strategy"] == "bisect"
+        assert Session.from_spec(spec).default_strategy == "bisect"
+
+    def test_legacy_spec_without_strategy_defaults(self):
+        spec = Session().spec()
+        del spec["strategy"]
+        assert Session.from_spec(spec).default_strategy == "greedy"
+
+    def test_runner_inherits_session_strategy(self, tmp_path):
+        from repro.runner import ExperimentRunner
+
+        runner = ExperimentRunner(
+            session=Session(
+                cache_dir=tmp_path, default_strategy="bisect"
+            ),
+            scale="tiny",
+            store_dir=tmp_path / "store",
+        )
+        assert runner.default_strategy == "bisect"
+        assert runner.flow_spec("conv", "V2", 1e-1).strategy == "bisect"
+        # Explicit per-spec strategies override the session default.
+        assert runner.flow_spec(
+            "conv", "V2", 1e-1, strategy="greedy"
+        ).strategy == "greedy"
+        # Tuning-dependent reports carry it; baselines normalize.
+        assert runner.report_spec(
+            "castless", "conv", "V2", 1e-1
+        ).strategy == "bisect"
+        assert runner.report_spec(
+            "baseline", "conv"
+        ).strategy == "greedy"

@@ -78,3 +78,61 @@ class TestRefine:
         easy = search.tune_single_input(0)
         joined = search.tune().precision
         assert sum(joined.values()) >= sum(easy.values())
+
+
+class NonMonotoneSearch:
+    """Minimal search double with a crafted non-monotone landscape.
+
+    Granting a bit to ``a`` for input 1 (the only profitable move)
+    walks the joint assignment through a region where input 0 -- which
+    validated first -- fails again: exactly the trap a single
+    validation sweep falls into.
+    """
+
+    target_db = 10.0
+
+    def __init__(self):
+        self._names = ["a", "b"]
+        self.evaluations = 0
+
+    def evaluate(self, cfg, input_id):
+        self.evaluations += 1
+        if input_id == 0:
+            return 5.0 if cfg["a"] == 2 else 15.0
+        return 5.0 + cfg["b"] if cfg["a"] == 1 else 12.0
+
+    def grant_best_bit(self, current, input_id):
+        base = self.evaluate(current, input_id)
+        best_name, best_gain = None, float("-inf")
+        for name in self._names:
+            trial = dict(current)
+            trial[name] += 1
+            gain = self.evaluate(trial, input_id) - base
+            if gain > best_gain:
+                best_gain, best_name = gain, name
+        current[best_name] += 1
+
+
+class TestRefineFixpoint:
+    def test_regrants_for_inputs_invalidated_by_later_grants(self):
+        """Regression: a bit granted against input 1 un-satisfies the
+        already-validated input 0; refine must sweep again until every
+        input passes in one clean pass (a single sequential sweep
+        returned {a: 2, b: 1}, which fails input 0 at 5 dB)."""
+        search = NonMonotoneSearch()
+        per_input = {0: {"a": 1, "b": 1}, 1: {"a": 1, "b": 1}}
+        joined = refine(search, per_input)
+        assert joined == {"a": 3, "b": 1}
+        for input_id in (0, 1):
+            assert search.evaluate(joined, input_id) >= search.target_db
+
+    def test_real_program_case_all_inputs_validated(self):
+        """The in-the-wild reproduction: bisection on KNN at 1e-2 joins
+        per-input bindings whose repair crosses a non-monotone region."""
+        from repro.apps import KnnApp
+        from repro.tuning import BisectionSearch
+
+        target = precision_to_sqnr_db(1e-2)
+        search = BisectionSearch(KnnApp("small"), V2, target)
+        result = search.tune()
+        assert all(db >= target for db in result.achieved_db.values())
