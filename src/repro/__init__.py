@@ -24,6 +24,10 @@ Subpackages
 ``repro.hardware``
     Transprecision FPU model (slices, SIMD, latency, energy) and a
     PULPino-like virtual platform (mini-ISA, in-order pipeline, memory).
+``repro.cluster``
+    Multi-core cluster simulator: per-core pipeline replay against
+    shared FPU instances (round-robin arbitration, contention stalls,
+    strong-scaling speedup/efficiency).
 ``repro.apps``
     The six evaluation kernels (JACOBI, KNN, PCA, DWT, SVM, CONV) in both
     numeric (FlexFloat) and kernel (ISA program) form.

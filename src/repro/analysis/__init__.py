@@ -11,11 +11,14 @@ Each submodule exposes ``compute(config) -> dict`` and
 * :mod:`repro.analysis.fig7` -- energy vs baseline (+ PCA manual vec);
 * :mod:`repro.analysis.summary` -- headline claims, paper vs measured;
 * :mod:`repro.analysis.ablation` -- cast-cost / binary8 / latency / V1;
-* :mod:`repro.analysis.strategies` -- tuning-strategy cost comparison.
+* :mod:`repro.analysis.strategies` -- tuning-strategy cost comparison;
+* :mod:`repro.analysis.cluster` -- multi-core strong scaling over
+  shared-FPU clusters (cores x sharing ratio).
 """
 
 from . import (
     ablation,
+    cluster,
     export,
     fig4,
     fig5,
@@ -28,6 +31,8 @@ from . import (
 )
 from .common import (
     ExperimentConfig,
+    cluster_result,
+    cluster_specs,
     default_grid,
     flow_result,
     flow_specs,
@@ -39,6 +44,8 @@ __all__ = [
     "ExperimentConfig",
     "flow_result",
     "report_result",
+    "cluster_result",
+    "cluster_specs",
     "prefetch",
     "flow_specs",
     "default_grid",
@@ -51,5 +58,6 @@ __all__ = [
     "summary",
     "ablation",
     "strategies",
+    "cluster",
     "export",
 ]

@@ -1,0 +1,139 @@
+"""Cluster strong scaling: cores x FPU-sharing sweep on tuned kernels.
+
+The follow-up cluster papers scale the transprecision FPU into an
+8-core cluster and study how many FPU instances the cores actually
+need: sharing one unit between 2 or 4 cores saves the static power of
+the replicated multi-format datapath and costs only the contention
+stalls of the arbiter.  This driver reproduces that experiment on our
+model: for every partitionable application it replays the tuned V2
+kernel (1e-1 precision target, the ablations' convention) on
+{1, 2, 4, 8} cores x {1:1, 1:2, 1:4} sharing ratios and reports cycles,
+speedup, parallel efficiency, contention and cluster energy.
+
+The 1-core 1:1 column is, by construction and by regression test,
+byte-identical to the single-core tuned report every other driver
+consumes.
+"""
+
+from __future__ import annotations
+
+from repro.tuning import V2
+
+from .common import (
+    CLUSTER_PRECISION,
+    ExperimentConfig,
+    cluster_apps,
+    cluster_result,
+    cluster_specs,
+    flow_result,
+    format_table,
+    prefetch,
+)
+
+__all__ = ["compute", "render"]
+
+
+def compute(cfg: ExperimentConfig | None = None) -> dict:
+    cfg = cfg or ExperimentConfig()
+    apps = cluster_apps(cfg)
+    prefetch(cfg, cluster_specs(cfg))
+    result: dict = {
+        "precision": CLUSTER_PRECISION,
+        "cores": list(cfg.cores),
+        "fpu_ratios": list(cfg.fpu_ratios),
+        "apps": {},
+    }
+    for app_name in apps:
+        flow = flow_result(cfg, app_name, V2, CLUSTER_PRECISION)
+        tuned = flow.tuned_report
+        per_app: dict = {
+            "serial_cycles": tuned.cycles,
+            "serial_energy_pj": tuned.energy_pj,
+            "ratios": {},
+        }
+        for fpu_ratio in cfg.fpu_ratios:
+            column: dict = {}
+            for cores in cfg.cores:
+                report = cluster_result(cfg, app_name, cores, fpu_ratio)
+                column[cores] = {
+                    "cycles": report.cycles,
+                    "speedup": report.speedup,
+                    "efficiency": report.efficiency,
+                    "energy_pj": report.energy_pj,
+                    "contention": report.total_contention,
+                    "n_fpus": report.config.n_fpus,
+                }
+            per_app["ratios"][fpu_ratio] = column
+        # The two headline invariants, recorded so tests and CI can
+        # assert on driver output instead of re-simulating:
+        per_app["efficiency_monotone"] = all(
+            all(
+                column[a]["efficiency"] >= column[b]["efficiency"]
+                for a, b in zip(sorted(column), sorted(column)[1:])
+            )
+            for column in per_app["ratios"].values()
+        )
+        single = cluster_result(cfg, app_name, 1, 1)
+        per_app["single_core_consistent"] = (
+            single.cores[0].to_payload() == tuned.to_payload()
+        )
+        result["apps"][app_name] = per_app
+    return result
+
+
+def render(result: dict) -> str:
+    cores = result["cores"]
+    max_cores = max(cores)
+    lines = [
+        "Cluster strong scaling: tuned V2 kernels "
+        f"(precision {result['precision']:g}) on shared-FPU clusters",
+        "speedup (parallel efficiency) per core count; "
+        "1 FPU per `ratio` cores",
+    ]
+    for app_name, data in result["apps"].items():
+        rows = []
+        for fpu_ratio, column in data["ratios"].items():
+            cells = [f"1:{fpu_ratio}"]
+            for n in cores:
+                point = column[n]
+                cells.append(
+                    f"{point['speedup']:.2f}x ({point['efficiency']:.0%})"
+                )
+            worst = column[max_cores]
+            cells.append(str(worst["contention"]))
+            cells.append(f"{worst['energy_pj'] / 1e3:.1f}")
+            rows.append(cells)
+        headers = (
+            ["sharing"]
+            + [f"{n} core{'s' if n > 1 else ''}" for n in cores]
+            + [f"stalls@{max_cores}", f"nJ@{max_cores}"]
+        )
+        lines.append("")
+        lines.append(
+            format_table(
+                headers,
+                rows,
+                title=(
+                    f"{app_name}  (serial: {data['serial_cycles']} cycles, "
+                    f"{data['serial_energy_pj'] / 1e3:.1f} nJ)"
+                ),
+            )
+        )
+        checks = []
+        checks.append(
+            "efficiency monotone non-increasing"
+            if data["efficiency_monotone"]
+            else "WARNING: efficiency not monotone"
+        )
+        checks.append(
+            "1-core/1:1 == single-core tuned report"
+            if data["single_core_consistent"]
+            else "WARNING: 1-core run diverges from the single-core report"
+        )
+        lines.append("  " + "; ".join(checks))
+    if not result["apps"]:
+        lines.append("")
+        lines.append(
+            "(no partitionable applications in this configuration)"
+        )
+    return "\n".join(lines)

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
-from repro.apps import APP_NAMES
+from repro.apps import APP_CLASSES, APP_NAMES
 from repro.core.backend import Backend
 from repro.flow import FlowResult
 from repro.hardware import RunReport
@@ -34,15 +34,23 @@ __all__ = [
     "ExperimentConfig",
     "flow_result",
     "report_result",
+    "cluster_result",
     "prefetch",
     "flow_specs",
     "pca_manual_specs",
+    "cluster_apps",
+    "cluster_specs",
     "default_grid",
     "type_system_by_name",
     "format_table",
     "bar",
     "PRECISION_LABELS",
+    "CLUSTER_PRECISION",
 ]
+
+#: Precision requirement the cluster strong-scaling driver pins (the
+#: ablations' convention: the 1e-1 column of the V2 grid).
+CLUSTER_PRECISION = 1e-1
 
 #: Paper-style labels for the three precision requirements.
 PRECISION_LABELS = {1e-1: "1e-1", 1e-2: "1e-2", 1e-3: "1e-3"}
@@ -75,6 +83,10 @@ class ExperimentConfig:
     #: like ``backend``, ignored when an explicit ``session`` is passed
     #: (the session's own default then applies).
     strategy: str = "greedy"
+    #: Strong-scaling axes the cluster driver sweeps: core counts and
+    #: FPU sharing ratios (1 FPU per ``ratio`` cores).
+    cores: tuple[int, ...] = (1, 2, 4, 8)
+    fpu_ratios: tuple[int, ...] = (1, 2, 4)
     #: Result-store root (default: ``<cache_dir>/store`` when a cache
     #: dir is given, else ``./results/store``).
     store_dir: Path | None = None
@@ -102,6 +114,8 @@ class ExperimentConfig:
         # leak between configs (and keys/repr stay stable).
         self.apps = tuple(self.apps)
         self.precisions = tuple(self.precisions)
+        self.cores = tuple(int(n) for n in self.cores)
+        self.fpu_ratios = tuple(int(r) for r in self.fpu_ratios)
         if self.session is None:
             self.session = Session(
                 backend=self.backend,
@@ -212,6 +226,47 @@ def prefetch(cfg: ExperimentConfig, specs: Sequence[JobSpec]) -> None:
         cfg.runner.run(specs)
 
 
+def cluster_result(
+    cfg: ExperimentConfig,
+    app_name: str,
+    cores: int,
+    fpu_ratio: int,
+):
+    """One cluster strong-scaling point (tuned V2 kernel at 1e-1)."""
+    return cfg.runner.cluster(
+        app_name, V2, CLUSTER_PRECISION, cores, fpu_ratio
+    )
+
+
+def cluster_apps(cfg: ExperimentConfig) -> tuple[str, ...]:
+    """The config's apps that carry a data-parallel partition."""
+    return tuple(
+        app for app in cfg.apps if APP_CLASSES[app].partitionable
+    )
+
+
+def cluster_specs(cfg: ExperimentConfig) -> list[JobSpec]:
+    """The cluster driver's grid: parent flows plus every strong-
+    scaling point over the config's core counts and sharing ratios.
+
+    One-core points normalize their ratio away inside
+    :class:`~repro.runner.JobSpec`, so the dedup below also keeps the
+    1-core column single-entry across ratios.
+    """
+    runner = cfg.runner
+    specs: list[JobSpec] = []
+    for app in cluster_apps(cfg):
+        specs.append(runner.flow_spec(app, V2, CLUSTER_PRECISION))
+        for fpu_ratio in cfg.fpu_ratios:
+            for cores in cfg.cores:
+                specs.append(
+                    runner.cluster_spec(
+                        app, V2, CLUSTER_PRECISION, cores, fpu_ratio
+                    )
+                )
+    return list(dict.fromkeys(specs))
+
+
 def pca_manual_specs(cfg: ExperimentConfig) -> list[JobSpec]:
     """Fig. 7's manual-vectorization series: the PCA flows plus the
     hand-vectorized replays, one per precision requirement.
@@ -234,9 +289,9 @@ def default_grid(cfg: ExperimentConfig) -> list[JobSpec]:
 
     Covers the V2 grid over the config's apps and precisions (fig4-7),
     the V1 and V2no8 columns at 1e-1 (table1 and the ablations), the
-    PCA flows behind Fig. 7's manual-vectorization series, and all
-    derived platform reports (motivation baselines, ablation
-    castless/fast16, PCA manual vectorization).
+    PCA flows behind Fig. 7's manual-vectorization series, all derived
+    platform reports (motivation baselines, ablation castless/fast16,
+    PCA manual vectorization), and the cluster strong-scaling grid.
     """
     runner = cfg.runner
     specs: list[JobSpec] = []
@@ -249,6 +304,7 @@ def default_grid(cfg: ExperimentConfig) -> list[JobSpec]:
     for app in cfg.apps:
         specs.append(runner.report_spec("castless", app, V2, 1e-1))
         specs.append(runner.report_spec("fast16", app, V2, 1e-1))
+    specs += cluster_specs(cfg)
     return list(dict.fromkeys(specs))
 
 

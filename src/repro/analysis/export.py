@@ -14,8 +14,14 @@ from pathlib import Path
 
 from repro.tuning import V1, V2
 
-from . import fig4, fig5, fig6, fig7, motivation, table1
-from .common import ExperimentConfig, flow_specs, pca_manual_specs, prefetch
+from . import cluster, fig4, fig5, fig6, fig7, motivation, table1
+from .common import (
+    ExperimentConfig,
+    cluster_specs,
+    flow_specs,
+    pca_manual_specs,
+    prefetch,
+)
 
 __all__ = ["export_all", "write_csv"]
 
@@ -46,6 +52,7 @@ def export_all(
     specs += flow_specs(cfg, (V1, V2), precisions=(1e-1,))
     specs += pca_manual_specs(cfg)
     specs += [cfg.runner.report_spec("baseline", app) for app in cfg.apps]
+    specs += cluster_specs(cfg)
     prefetch(cfg, specs)
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -58,6 +65,7 @@ def export_all(
         "fig5": fig5,
         "fig6": fig6,
         "fig7": fig7,
+        "cluster": cluster,
     }
     results = {}
     for name, driver in drivers.items():
@@ -100,6 +108,22 @@ def export_all(
     ]
     path = out / "fig4.csv"
     write_csv(path, ["precision", "app", "precision_bits", "locations"],
+              rows)
+    written.append(path)
+
+    # Cluster strong-scaling CSV: one row per (app, sharing, cores) --
+    # the figure data behind the efficiency table.
+    rows = [
+        [app, f"1:{fpu_ratio}", n_cores,
+         point["cycles"], point["speedup"], point["efficiency"],
+         point["contention"], point["n_fpus"], point["energy_pj"]]
+        for app, data in results["cluster"]["apps"].items()
+        for fpu_ratio, column in data["ratios"].items()
+        for n_cores, point in column.items()
+    ]
+    path = out / "cluster.csv"
+    write_csv(path, ["app", "sharing", "cores", "cycles", "speedup",
+                     "efficiency", "contention", "fpus", "energy_pj"],
               rows)
     written.append(path)
     return written

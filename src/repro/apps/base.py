@@ -43,6 +43,7 @@ __all__ = [
     "vcast",
     "reduce_lanes",
     "lanes_for",
+    "partition_range",
 ]
 
 FF = Union[FlexFloat, FlexFloatArray]
@@ -81,6 +82,24 @@ def lanes_for(fmt: FPFormat) -> int:
     if fmt.bits <= 16:
         return 2
     return 1
+
+
+def partition_range(total: int, n_parts: int, part: int) -> tuple[int, int]:
+    """Contiguous balanced chunk ``[lo, hi)`` of ``range(total)``.
+
+    The first ``total % n_parts`` parts get one extra element, the
+    static block schedule every data-parallel kernel here uses.  Parts
+    beyond ``total`` come out empty (``lo == hi``): an 8-core cluster
+    on a 4-row image simply idles four cores.
+    """
+    if n_parts < 1:
+        raise ValueError(f"need at least one part, got {n_parts}")
+    if not 0 <= part < n_parts:
+        raise ValueError(f"part {part} not in 0..{n_parts - 1}")
+    base, extra = divmod(total, n_parts)
+    lo = part * base + min(part, extra)
+    hi = lo + base + (1 if part < extra else 0)
+    return lo, hi
 
 
 # ----------------------------------------------------------------------
@@ -155,6 +174,9 @@ class TransprecisionApp(ABC):
     #: Whether the off-the-shelf code has vectorizable regions at all
     #: (JACOBI does not, per Fig. 5).
     vectorizable: bool = True
+    #: Whether :meth:`partition` chunks the dominant loop across cores
+    #: (False: the fallback runs the whole kernel on core 0).
+    partitionable: bool = False
 
     def __init__(self, scale: str | AppScale = "small") -> None:
         self.scale = SCALES[scale] if isinstance(scale, str) else scale
@@ -190,6 +212,55 @@ class TransprecisionApp(ABC):
         vectorize: bool = True,
     ) -> Program:
         """Emit the mini-ISA kernel for the virtual platform."""
+
+    def partition(
+        self,
+        n_cores: int,
+        binding: Mapping[str, FPFormat],
+        input_id: int = 0,
+        vectorize: bool = True,
+    ) -> list[Program]:
+        """Data-parallel decomposition: one mini-ISA kernel per core.
+
+        Partitionable apps chunk their dominant loop with
+        :func:`partition_range` in :meth:`_partition_many`;
+        ``partition(1, ...)`` is always the unpartitioned
+        :meth:`build_program` stream, bit for bit.  Apps without a
+        data-parallel form inherit the fallback: core 0 runs the whole
+        kernel, the remaining cores idle (empty streams) -- a cluster
+        replay then degenerates to the single-core numbers.
+
+        Cores execute these streams *synchronization-free* on the
+        cluster platform; per-core programs own full copies of the
+        input arrays (the cluster's shared L1), so single-pass kernels
+        stay numerically exact per core while iterative ones (jacobi
+        sweeps, dwt levels beyond the first) diverge at chunk
+        boundaries -- their instruction streams, and therefore timing
+        and energy, are unaffected (no data-dependent control flow).
+        """
+        if n_cores < 1:
+            raise ValueError(f"need at least one core, got {n_cores}")
+        if n_cores == 1:
+            return [self.build_program(binding, input_id, vectorize)]
+        return self._partition_many(n_cores, binding, input_id, vectorize)
+
+    def _partition_many(
+        self,
+        n_cores: int,
+        binding: Mapping[str, FPFormat],
+        input_id: int,
+        vectorize: bool,
+    ) -> list[Program]:
+        """Decomposition hook for ``n_cores >= 2`` (see :meth:`partition`).
+
+        Fallback for apps without a data-parallel form: core 0 runs the
+        whole kernel, the remaining cores idle.
+        """
+        whole = self.build_program(binding, input_id, vectorize)
+        return [whole] + [
+            Program(f"{self.name}.c{core}", [], {})
+            for core in range(1, n_cores)
+        ]
 
     # -- conveniences ----------------------------------------------------
     def baseline_binding(self) -> dict[str, FPFormat]:

@@ -26,6 +26,7 @@ from .base import (
     TransprecisionApp,
     ensure_fmt,
     lanes_for,
+    partition_range,
     reduce_lanes,
     vcast,
     wider,
@@ -39,6 +40,7 @@ class ConvApp(TransprecisionApp):
     """5x5 convolution over a square image (valid region)."""
 
     name = "conv"
+    partitionable = True
 
     def variables(self):
         n = self.scale.conv_size
@@ -94,6 +96,45 @@ class ConvApp(TransprecisionApp):
         input_id: int = 0,
         vectorize: bool = True,
     ) -> Program:
+        out_n = self.scale.conv_size - self.scale.conv_kernel + 1
+        return self._build_rows(
+            binding, input_id, vectorize, 0, out_n, self.name
+        )
+
+    def _partition_many(
+        self,
+        n_cores: int,
+        binding: Mapping[str, FPFormat],
+        input_id: int,
+        vectorize: bool,
+    ) -> list[Program]:
+        """Chunk the output rows: core ``i`` convolves its row band.
+
+        Cores whose band is empty (more cores than output rows) get an
+        empty stream -- they idle instead of re-running the tap-hoist
+        prologue for no work.
+        """
+        out_n = self.scale.conv_size - self.scale.conv_kernel + 1
+        programs = []
+        for core in range(n_cores):
+            lo, hi = partition_range(out_n, n_cores, core)
+            name = f"{self.name}.c{core}"
+            programs.append(
+                self._build_rows(binding, input_id, vectorize, lo, hi, name)
+                if hi > lo
+                else Program(name, [], {})
+            )
+        return programs
+
+    def _build_rows(
+        self,
+        binding: Mapping[str, FPFormat],
+        input_id: int,
+        vectorize: bool,
+        row_lo: int,
+        row_hi: int,
+        name: str,
+    ) -> Program:
         image_np, kernel_np = conv_inputs(self.scale, input_id)
         img_fmt = self._fmt(binding, "image")
         ker_fmt = self._fmt(binding, "kernel")
@@ -105,7 +146,7 @@ class ConvApp(TransprecisionApp):
         n = self.scale.conv_size
         out_n = n - k + 1
 
-        b = KernelBuilder(self.name)
+        b = KernelBuilder(name)
         img = b.alloc("image", image_np.reshape(-1), img_fmt)
         ker = b.alloc("kernel", kernel_np.reshape(-1), ker_fmt)
         out = b.zeros("out", out_n * out_n, out_fmt)
@@ -132,7 +173,8 @@ class ConvApp(TransprecisionApp):
             tap_regs.append(regs)
 
         zero = b.fconst(0.0, region)
-        for r in b.loop(out_n):
+        for r0 in b.loop(row_hi - row_lo):
+            r = row_lo + r0
             for c in b.loop(out_n):
                 acc = zero
                 acc_lanes = 1

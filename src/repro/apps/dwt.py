@@ -27,6 +27,7 @@ from .base import (
     TransprecisionApp,
     ensure_fmt,
     lanes_for,
+    partition_range,
     reduce_lanes,
     vcast,
     wider,
@@ -43,6 +44,7 @@ class DwtApp(TransprecisionApp):
     """Multi-level 1D db2 wavelet decomposition."""
 
     name = "dwt"
+    partitionable = True
 
     def variables(self):
         n = self.scale.dwt_length
@@ -113,6 +115,46 @@ class DwtApp(TransprecisionApp):
         input_id: int = 0,
         vectorize: bool = True,
     ) -> Program:
+        return self._build_part(
+            binding, input_id, vectorize, 0, 1, self.name
+        )
+
+    def _partition_many(
+        self,
+        n_cores: int,
+        binding: Mapping[str, FPFormat],
+        input_id: int,
+        vectorize: bool,
+    ) -> list[Program]:
+        """Chunk every level's output samples: core ``i`` filters its
+        slice of each level (synchronization-free model; see the base
+        class).  A core empty at the first (largest) level is empty at
+        every deeper one too: it idles with an empty stream instead of
+        re-running the tap-hoist prologue.
+        """
+        first_half = self.scale.dwt_length // 2
+        programs = []
+        for core in range(n_cores):
+            name = f"{self.name}.c{core}"
+            lo, hi = partition_range(first_half, n_cores, core)
+            programs.append(
+                self._build_part(
+                    binding, input_id, vectorize, core, n_cores, name
+                )
+                if hi > lo
+                else Program(name, [], {})
+            )
+        return programs
+
+    def _build_part(
+        self,
+        binding: Mapping[str, FPFormat],
+        input_id: int,
+        vectorize: bool,
+        core: int,
+        n_cores: int,
+        name: str,
+    ) -> Program:
         signal_np = dwt_inputs(self.scale, input_id)
         sig_fmt = self._fmt(binding, "signal")
         lo_fmt = self._fmt(binding, "lowpass")
@@ -124,7 +166,7 @@ class DwtApp(TransprecisionApp):
         n0 = self.scale.dwt_length
         levels = self.scale.dwt_levels
 
-        b = KernelBuilder(self.name)
+        b = KernelBuilder(name)
         signal = b.alloc("signal", signal_np, sig_fmt)
         lowpass = b.alloc("lowpass", _DB2_LO, lo_fmt)
         highpass = b.alloc("highpass", _DB2_HI, hi_fmt)
@@ -158,7 +200,9 @@ class DwtApp(TransprecisionApp):
         for level in range(levels):
             half = current_n // 2
             out_cursor -= half
-            for i in b.loop(half):
+            lo, hi = partition_range(half, n_cores, core)
+            for i0 in b.loop(hi - lo):
+                i = lo + i0
                 base = 2 * i
                 wrap = base + TAPS > current_n
                 lo_acc = None
@@ -206,12 +250,15 @@ class DwtApp(TransprecisionApp):
                 app_val = ensure_fmt(b, lo_s, region, sig_fmt)
                 b.store(scratch, i, app_val)
             # Copy the new approximation back (load+store per element).
-            for i in b.loop(half):
+            for i0 in b.loop(hi - lo):
+                i = lo + i0
                 v = b.load(scratch, i)
                 b.store(current, i, v)
             current_n = half
         # Final approximation into the front of the output.
-        for i in b.loop(current_n):
+        lo, hi = partition_range(current_n, n_cores, core)
+        for i0 in b.loop(hi - lo):
+            i = lo + i0
             v = b.load(current, i)
             v = ensure_fmt(b, v, sig_fmt, out_fmt)
             b.store(coeffs, i, v)

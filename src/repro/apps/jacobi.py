@@ -26,7 +26,7 @@ from repro.core import FlexFloatArray, FPFormat
 from repro.hardware import KernelBuilder, Program
 from repro.tuning import VarSpec
 
-from .base import TransprecisionApp, ensure_fmt, wider
+from .base import TransprecisionApp, ensure_fmt, partition_range, wider
 from .data import jacobi_inputs
 
 __all__ = ["JacobiApp"]
@@ -37,6 +37,7 @@ class JacobiApp(TransprecisionApp):
 
     name = "jacobi"
     vectorizable = False
+    partitionable = True
 
     def variables(self):
         n = self.scale.jacobi_n + 2
@@ -86,6 +87,41 @@ class JacobiApp(TransprecisionApp):
         input_id: int = 0,
         vectorize: bool = True,
     ) -> Program:
+        return self._build_rows(
+            binding, input_id, 0, self.scale.jacobi_n, self.name
+        )
+
+    def _partition_many(
+        self,
+        n_cores: int,
+        binding: Mapping[str, FPFormat],
+        input_id: int,
+        vectorize: bool,
+    ) -> list[Program]:
+        """Chunk the grid rows: core ``i`` sweeps its row band every
+        iteration (synchronization-free model; see the base class).
+        Cores with an empty band idle (empty stream) rather than
+        spinning through the iteration loop's machinery.
+        """
+        programs = []
+        for core in range(n_cores):
+            lo, hi = partition_range(self.scale.jacobi_n, n_cores, core)
+            name = f"{self.name}.c{core}"
+            programs.append(
+                self._build_rows(binding, input_id, lo, hi, name)
+                if hi > lo
+                else Program(name, [], {})
+            )
+        return programs
+
+    def _build_rows(
+        self,
+        binding: Mapping[str, FPFormat],
+        input_id: int,
+        row_lo: int,
+        row_hi: int,
+        name: str,
+    ) -> Program:
         grid_np, source_np = jacobi_inputs(self.scale, input_id)
         grid_fmt = self._fmt(binding, "grid")
         src_fmt = self._fmt(binding, "source")
@@ -94,7 +130,7 @@ class JacobiApp(TransprecisionApp):
         n = self.scale.jacobi_n + 2
         inner = self.scale.jacobi_n
 
-        b = KernelBuilder(self.name)
+        b = KernelBuilder(name)
         # Ping-pong pair: real stencil codes swap buffer pointers instead
         # of copying the field back every sweep.
         grid_a = b.alloc("grid", grid_np.reshape(-1), grid_fmt)
@@ -105,7 +141,8 @@ class JacobiApp(TransprecisionApp):
         quarter = b.fconst(0.25, region)
         src_buf, dst_buf = grid_a, grid_b
         for _ in b.loop(self.scale.jacobi_iters, soft=True):
-            for r in b.loop(inner):
+            for r0 in b.loop(row_hi - row_lo):
+                r = row_lo + r0
                 for c in b.loop(inner):  # falls back to a soft loop
                     rr, cc = r + 1, c + 1
                     up = b.load(src_buf, (rr - 1) * n + cc)
@@ -132,8 +169,9 @@ class JacobiApp(TransprecisionApp):
                     b.fp("cmp", region, upd, quarter)
                     b.alu(0)  # running-max bookkeeping
             src_buf, dst_buf = dst_buf, src_buf  # pointer swap: free
-        # Emit the interior as the program output.
-        for r in b.loop(inner):
+        # Emit this band of the interior as the program output.
+        for r0 in b.loop(row_hi - row_lo):
+            r = row_lo + r0
             for c in b.loop(inner):
                 v = b.load(src_buf, (r + 1) * n + (c + 1))
                 b.store(out, r * inner + c, v)

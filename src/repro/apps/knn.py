@@ -42,6 +42,7 @@ from .base import (
     TransprecisionApp,
     ensure_fmt,
     lanes_for,
+    partition_range,
     reduce_lanes,
     vcast,
     wider,
@@ -55,6 +56,7 @@ class KnnApp(TransprecisionApp):
     """k-nearest neighbours of one query point."""
 
     name = "knn"
+    partitionable = True
 
     def variables(self):
         n, d = self.scale.knn_points, self.scale.knn_dims
@@ -123,6 +125,62 @@ class KnnApp(TransprecisionApp):
         input_id: int = 0,
         vectorize: bool = True,
     ) -> Program:
+        return self._build_part(
+            binding, input_id, vectorize, 0, 1, self.name
+        )
+
+    def _partition_many(
+        self,
+        n_cores: int,
+        binding: Mapping[str, FPFormat],
+        input_id: int,
+        vectorize: bool,
+    ) -> list[Program]:
+        """Chunk the training points: every core accumulates squared
+        distances for its chunk; core 0 additionally runs the top-k
+        selection, estimate and roots over the full distance array.
+
+        The cluster's shared L1 makes the other cores' distance chunks
+        visible to core 0's merge; the model captures that by
+        pre-seeding core 0's ``dist`` array with the chunk values the
+        other cores' streams compute (their programs are built first).
+        Core 0's selection therefore ranks exactly the values a serial
+        run ranks, keeping its data-dependent instruction stream -- and
+        the program output -- identical to the unpartitioned kernel's.
+        """
+        n = self.scale.knn_points
+        others = []
+        for core in range(1, n_cores):
+            lo, hi = partition_range(n, n_cores, core)
+            name = f"{self.name}.c{core}"
+            others.append(
+                self._build_part(
+                    binding, input_id, vectorize, core, n_cores, name
+                )
+                if hi > lo
+                else Program(name, [], {})  # no points left: idle
+            )
+        seed = [0.0] * n
+        for core, program in enumerate(others, start=1):
+            lo, hi = partition_range(n, n_cores, core)
+            if hi > lo:
+                seed[lo:hi] = program.arrays["dist"].data[lo:hi]
+        core0 = self._build_part(
+            binding, input_id, vectorize, 0, n_cores,
+            f"{self.name}.c0", dist_seed=seed,
+        )
+        return [core0] + others
+
+    def _build_part(
+        self,
+        binding: Mapping[str, FPFormat],
+        input_id: int,
+        vectorize: bool,
+        core: int,
+        n_cores: int,
+        name: str,
+        dist_seed: "list[float] | None" = None,
+    ) -> Program:
         train_np, values_np, query_np = knn_inputs(self.scale, input_id)
         train_fmt = self._fmt(binding, "train")
         values_fmt = self._fmt(binding, "values")
@@ -134,11 +192,17 @@ class KnnApp(TransprecisionApp):
         n, d = self.scale.knn_points, self.scale.knn_dims
         k = self.scale.knn_k
 
-        b = KernelBuilder(self.name)
+        b = KernelBuilder(name)
         train = b.alloc("train", train_np.reshape(-1), train_fmt)
         values = b.alloc("values", values_np, values_fmt)
         query = b.alloc("query", query_np, query_fmt)
-        dist = b.zeros("dist", n, dist_fmt)
+        # Core 0 of a partitioned build sees the other cores' distance
+        # chunks through the shared L1: its array starts pre-seeded.
+        dist = (
+            b.alloc("dist", dist_seed, dist_fmt)
+            if dist_seed is not None
+            else b.zeros("dist", n, dist_fmt)
+        )
         out = b.zeros("out", 1 + k, BINARY32)
 
         # Hoist the query into registers (loaded and converted once).
@@ -156,8 +220,10 @@ class KnnApp(TransprecisionApp):
                 query_regs.append((ensure_fmt(b, v, query_fmt, region), 1))
             col += width
 
+        lo, hi = partition_range(n, n_cores, core)
         zero = b.fconst(0.0, region)
-        for i in b.loop(n):
+        for i0 in b.loop(hi - lo):
+            i = lo + i0
             acc = zero
             vacc = None
             vacc_lanes = 1
@@ -190,6 +256,10 @@ class KnnApp(TransprecisionApp):
                 acc = b.fp("add", region, acc, red)
             result = ensure_fmt(b, acc, region, dist_fmt)
             b.store(dist, i, result)
+
+        if core != 0:
+            # Distance chunk only: selection and merge run on core 0.
+            return b.program()
 
         # Top-k selection: insertion into a k-entry best list (value and
         # index).  Each candidate pays one load and up to k compares;

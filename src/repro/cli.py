@@ -15,6 +15,9 @@ Examples::
     # hits (including `repro all`):
     python -m repro run --scale paper --jobs 4
 
+    # Multi-core cluster strong scaling (shared-FPU model):
+    python -m repro cluster --scale small --cores 1,2,4,8 --fpu-ratio 1,2,4
+
     # Precision-tuning strategies (the pluggable solver API):
     python -m repro tune --list-strategies
     python -m repro tune --scale tiny --apps conv --strategy bisect
@@ -31,6 +34,7 @@ import time
 from repro.analysis import (
     ExperimentConfig,
     ablation,
+    cluster,
     default_grid,
     fig4,
     fig5,
@@ -64,6 +68,7 @@ _DRIVERS = {
     "summary": summary,
     "ablation": ablation,
     "strategies": strategies,
+    "cluster": cluster,
 }
 
 _ORDER = [
@@ -78,6 +83,7 @@ _ORDER = [
     "summary",
     "ablation",
     "strategies",
+    "cluster",
     "export",
 ]
 
@@ -260,6 +266,24 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--cores",
+        default="1,2,4,8",
+        metavar="N[,N...]",
+        help=(
+            "comma-separated core counts for the cluster strong-scaling "
+            "sweep (default: 1,2,4,8)"
+        ),
+    )
+    parser.add_argument(
+        "--fpu-ratio",
+        default="1,2,4",
+        metavar="R[,R...]",
+        help=(
+            "comma-separated FPU sharing ratios for the cluster sweep: "
+            "one FPU per R cores (default: 1,2,4)"
+        ),
+    )
+    parser.add_argument(
         "--backend",
         default="reference",
         choices=available_backends(),
@@ -306,12 +330,25 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir=args.cache_dir,
         default_strategy=args.strategy,
     )
+    def _int_list(text: str, flag: str) -> tuple[int, ...]:
+        try:
+            values = tuple(
+                int(part) for part in text.split(",") if part.strip()
+            )
+        except ValueError:
+            values = ()
+        if not values or any(v < 1 for v in values):
+            parser.error(f"{flag} needs positive integers, got {text!r}")
+        return values
+
     config_kwargs = dict(
         scale=args.scale,
         cache_dir=args.cache_dir,
         store_dir=args.store_dir,
         jobs=args.jobs,
         strategy=args.strategy,
+        cores=_int_list(args.cores, "--cores"),
+        fpu_ratios=_int_list(args.fpu_ratio, "--fpu-ratio"),
         session=session,
     )
     if args.apps:

@@ -1,0 +1,40 @@
+"""Multi-core transprecision cluster simulator (shared-FPU model).
+
+The follow-up work to the paper scales the single-core transprecision
+platform into an 8-core cluster whose cores share FPU instances at
+configurable ratios.  This package models that cluster on top of the
+existing single-core machinery:
+
+* :class:`ClusterConfig` -- topology: core count x FPU sharing ratio;
+* :func:`~repro.cluster.engine.simulate_cluster_timing` -- per-core
+  pipeline replay with per-cycle round-robin FPU arbitration;
+* :class:`ClusterPlatform` / :class:`ClusterReport` -- the multi-core
+  siblings of ``VirtualPlatform`` / ``RunReport``, with per-core
+  reports, contention accounting, shared-FPU static energy and
+  strong-scaling speedup/efficiency.
+
+>>> from repro.apps import make_app
+>>> from repro.cluster import ClusterConfig, ClusterPlatform
+>>> app = make_app("conv", "tiny")
+>>> platform = ClusterPlatform(ClusterConfig(n_cores=4, fpu_ratio=2))
+>>> report = platform.run_app(app, app.baseline_binding())
+>>> report.speedup > 1.0
+True
+"""
+
+from .config import ClusterConfig
+from .engine import CoreResult, simulate_cluster_timing
+from .platform import (
+    FPU_STATIC_PJ_PER_CYCLE,
+    ClusterPlatform,
+    ClusterReport,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "CoreResult",
+    "simulate_cluster_timing",
+    "ClusterPlatform",
+    "ClusterReport",
+    "FPU_STATIC_PJ_PER_CYCLE",
+]

@@ -1,0 +1,84 @@
+"""Cluster topology: core count and FPU sharing ratio.
+
+The follow-up work to the paper ("A Transprecision Floating-Point
+Cluster for Efficient Near-Sensor Data Analytics", Montagna et al. 2020)
+scales the single-core transprecision platform into an 8-core PULP
+cluster in which cores *share* FPU instances at configurable ratios --
+one FPU per core (1:1), per core pair (1:2) or per core quad (1:4) --
+and arbitrate accesses round-robin.  :class:`ClusterConfig` captures
+exactly that topology knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ClusterConfig"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Topology of one transprecision cluster.
+
+    Parameters
+    ----------
+    n_cores:
+        Number of RI5CY-class cores replaying per-core streams.
+    fpu_ratio:
+        Cores per shared FPU instance (1, 2 or 4 in the reference
+        design; any positive integer is accepted).  Core ``c`` is
+        statically wired to FPU ``c // fpu_ratio``, the neighbouring-
+        cores grouping the hardware uses.
+    """
+
+    n_cores: int = 1
+    fpu_ratio: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError(f"need at least one core, got {self.n_cores}")
+        if self.fpu_ratio < 1:
+            raise ValueError(
+                f"FPU sharing ratio must be >= 1, got {self.fpu_ratio}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_fpus(self) -> int:
+        """FPU instances the cluster instantiates."""
+        return -(-self.n_cores // self.fpu_ratio)
+
+    def fpu_of(self, core: int) -> int:
+        """The FPU instance a core is wired to."""
+        if not 0 <= core < self.n_cores:
+            raise ValueError(f"core {core} not in 0..{self.n_cores - 1}")
+        return core // self.fpu_ratio
+
+    def cores_of(self, fpu: int) -> range:
+        """The cores sharing one FPU instance."""
+        if not 0 <= fpu < self.n_fpus:
+            raise ValueError(f"FPU {fpu} not in 0..{self.n_fpus - 1}")
+        lo = fpu * self.fpu_ratio
+        return range(lo, min(lo + self.fpu_ratio, self.n_cores))
+
+    @property
+    def ratio_label(self) -> str:
+        """The paper-style sharing label (``1:2`` = one FPU per pair)."""
+        return f"1:{self.fpu_ratio}"
+
+    def describe(self) -> str:
+        return f"{self.n_cores} cores, {self.ratio_label} FPU sharing"
+
+    # ------------------------------------------------------------------
+    # Serialization (result store / experiment runner)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-able dict; :meth:`from_payload` restores an equal config."""
+        return {"n_cores": self.n_cores, "fpu_ratio": self.fpu_ratio}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ClusterConfig":
+        return cls(
+            n_cores=int(payload["n_cores"]),
+            fpu_ratio=int(payload["fpu_ratio"]),
+        )

@@ -1,0 +1,210 @@
+"""Multi-core replay with shared-FPU arbitration.
+
+Each core replays its own dynamic instruction stream under exactly the
+single-core pipeline rules of :func:`repro.hardware.cpu.simulate_timing`
+-- same scoreboarding, same latencies, same cycle accounting -- with one
+addition: FP arithmetic must also win its *shared* FPU instance.  Every
+FPU is one :class:`~repro.hardware.fpu.FpuOccupancy` (the same
+structural-hazard model the single-core simulator drives):
+
+* the issue port accepts one FP operation per cycle, and
+* a sequential div/sqrt blocks the whole instance until completion --
+  now visibly stalling the *other* cores wired to it.
+
+When several cores request the same FPU in the same cycle, a per-cycle
+interleaved round-robin arbiter grants one: priority starts at core
+``cycle mod group_size`` within the FPU's core group and rotates every
+cycle, so no core can be starved and equal streams see (to within the
+one-cycle granularity of a single issue port) equal contention.
+
+Cycles a core loses to arbitration -- waiting on an FPU that its *own*
+instructions left free -- are accounted per core as ``contention``, on
+top of the ordinary data/structural stalls that land in its
+:class:`~repro.hardware.Timing` exactly as on a single core.
+
+A one-core cluster has a private FPU, never contends, and produces a
+:class:`Timing` bit-identical to ``simulate_timing`` by construction
+(and by regression test).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.cpu import Timing, classify, result_latency
+from repro.hardware.fpu.occupancy import FpuOccupancy
+from repro.hardware.isa import BRANCH_TAKEN_PENALTY, Instr, Kind
+
+from .config import ClusterConfig
+
+__all__ = ["CoreResult", "simulate_cluster_timing"]
+
+
+class CoreResult:
+    """Timing of one core plus its arbitration losses."""
+
+    __slots__ = ("timing", "contention_stalls")
+
+    def __init__(self, timing: Timing, contention_stalls: int) -> None:
+        self.timing = timing
+        self.contention_stalls = contention_stalls
+
+
+class _Core:
+    """Replay state of one core (mirrors ``simulate_timing`` exactly)."""
+
+    __slots__ = (
+        "core_id",
+        "instrs",
+        "override",
+        "pc",
+        "cycle",
+        "ready",
+        "last_writeback",
+        "timing",
+        "own_fpu",
+        "contention_stalls",
+        "_own_earliest",
+    )
+
+    def __init__(
+        self,
+        core_id: int,
+        instrs: list[Instr],
+        override: dict[str, int] | None,
+    ) -> None:
+        self.core_id = core_id
+        self.instrs = instrs
+        self.override = override
+        self.pc = 0
+        self.cycle = 0  # next free issue slot
+        self.ready: dict[int, int] = {}
+        self.last_writeback = 0
+        self.timing = Timing(instructions=len(instrs))
+        #: The hazards this core imposes on *itself* (its div/sqrt
+        #: shadow); the gap between this and the shared instance's
+        #: availability is, by definition, contention.
+        self.own_fpu = FpuOccupancy()
+        self.contention_stalls = 0
+        self._own_earliest: int | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.pc >= len(self.instrs)
+
+    @property
+    def next_instr(self) -> Instr:
+        return self.instrs[self.pc]
+
+    def own_earliest(self) -> int:
+        """Earliest issue cycle under this core's private hazards only."""
+        if self._own_earliest is None:
+            instr = self.instrs[self.pc]
+            earliest = self.cycle
+            for src in instr.srcs:
+                when = self.ready.get(src, 0)
+                if when > earliest:
+                    earliest = when
+            if instr.kind == Kind.FP:
+                earliest = self.own_fpu.earliest_issue(earliest)
+            self._own_earliest = earliest
+        return self._own_earliest
+
+    def issue(self, t: int, shared_fpu: FpuOccupancy | None) -> None:
+        """Issue the next instruction at cycle ``t`` (>= own_earliest)."""
+        instr = self.instrs[self.pc]
+        stall = t - self.cycle
+        self.contention_stalls += t - self.own_earliest()
+        consumed = 1  # the issue slot itself
+        if instr.kind == Kind.BRANCH and instr.taken:
+            consumed += BRANCH_TAKEN_PENALTY
+
+        latency = result_latency(instr, self.override)
+        if instr.dst is not None:
+            done = t + latency
+            self.ready[instr.dst] = done
+            if done > self.last_writeback:
+                self.last_writeback = done
+        if instr.kind == Kind.FP:
+            shared_fpu.note_issue(instr.op, t, latency)
+            self.own_fpu.note_issue(instr.op, t, latency)
+
+        self.cycle = t + consumed
+        self.timing.stall_cycles += stall
+        self.timing.add_class_cycles(classify(instr), stall + consumed)
+        self.pc += 1
+        self._own_earliest = None
+
+    def finish(self) -> None:
+        self.timing.cycles = max(self.cycle, self.last_writeback)
+
+
+def simulate_cluster_timing(
+    streams: list[list[Instr]],
+    config: ClusterConfig,
+    fp_latency_override: dict[str, int] | None = None,
+) -> list[CoreResult]:
+    """Replay one stream per core against the shared FPU instances.
+
+    ``streams`` must hold exactly ``config.n_cores`` entries (empty
+    streams are fine: an idle core finishes at cycle 0).  Returns one
+    :class:`CoreResult` per core, in core order.
+    """
+    if len(streams) != config.n_cores:
+        raise ValueError(
+            f"{config.n_cores}-core cluster needs {config.n_cores} "
+            f"streams, got {len(streams)}"
+        )
+    cores = [
+        _Core(i, instrs, fp_latency_override)
+        for i, instrs in enumerate(streams)
+    ]
+    fpus = [FpuOccupancy() for _ in range(config.n_fpus)]
+    active = [core for core in cores if not core.done]
+
+    while active:
+        # The next cycle at which anything can happen: every core's
+        # earliest issue under both its own hazards and its shared
+        # FPU's current occupancy.  Skipping straight there is safe --
+        # no occupancy state changes on cycles where nothing issues.
+        t: int | None = None
+        candidates: list[int] = []
+        for core in active:
+            earliest = core.own_earliest()
+            if core.next_instr.kind == Kind.FP:
+                earliest = fpus[config.fpu_of(core.core_id)].earliest_issue(
+                    earliest
+                )
+            candidates.append(earliest)
+            if t is None or earliest < t:
+                t = earliest
+
+        # Non-FP instructions don't share anything: all issue at t.
+        # FP requesters are granted one per FPU by interleaved
+        # round-robin; losers retry next cycle (the winner's port
+        # occupancy pushes their candidate past t automatically).
+        requesters: dict[int, list[_Core]] = {}
+        for core, earliest in zip(active, candidates):
+            if earliest != t:
+                continue
+            if core.next_instr.kind == Kind.FP:
+                requesters.setdefault(
+                    config.fpu_of(core.core_id), []
+                ).append(core)
+            else:
+                core.issue(t, None)
+
+        for fpu_id, group in requesters.items():
+            fpu_cores = config.cores_of(fpu_id)
+            start = fpu_cores[t % len(fpu_cores)]
+            granted = min(
+                group,
+                key=lambda c: (c.core_id - start) % len(fpu_cores),
+            )
+            granted.issue(t, fpus[fpu_id])
+
+        active = [core for core in cores if not core.done]
+
+    for core in cores:
+        core.finish()
+    return [
+        CoreResult(core.timing, core.contention_stalls) for core in cores
+    ]

@@ -1,11 +1,11 @@
 """Hardware models: transprecision FPU and PULPino-like virtual platform."""
 
 from . import fpu
-from .cpu import Timing, simulate_timing
+from .cpu import Timing, classify, result_latency, simulate_timing
 from .energy import DEFAULT_ENERGY_MODEL, EnergyBreakdown, EnergyModel
 from .isa import BRANCH_TAKEN_PENALTY, LOAD_USE_LATENCY, Instr, Kind
 from .memory import MemoryStats, count_memory
-from .platform import RunReport, VirtualPlatform
+from .platform import RunReport, VirtualPlatform, assemble_report
 from .program import ArrayRef, KernelBuilder, Program, Reg
 from .trace import InstructionMix, disassemble, instruction_mix
 
@@ -17,6 +17,9 @@ __all__ = [
     "LOAD_USE_LATENCY",
     "Timing",
     "simulate_timing",
+    "result_latency",
+    "classify",
+    "assemble_report",
     "EnergyModel",
     "EnergyBreakdown",
     "DEFAULT_ENERGY_MODEL",

@@ -19,10 +19,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .fpu.occupancy import FpuOccupancy
 from .fpu.ops import arithmetic_latency, cast_latency, sequential_latency
 from .isa import BRANCH_TAKEN_PENALTY, LOAD_USE_LATENCY, Instr, Kind
 
-__all__ = ["Timing", "simulate_timing"]
+__all__ = ["Timing", "simulate_timing", "result_latency", "classify"]
 
 
 @dataclass
@@ -64,7 +65,7 @@ class Timing:
         )
 
 
-def _result_latency(
+def result_latency(
     instr: Instr, fp_latency_override: dict[str, int] | None = None
 ) -> int:
     """Cycles from issue until the destination register is forwardable.
@@ -90,7 +91,7 @@ def _result_latency(
     return 1
 
 
-def _classify(instr: Instr) -> str:
+def classify(instr: Instr) -> str:
     kind = instr.kind
     if kind == Kind.FP:
         return "fp_vector" if instr.lanes > 1 else "fp_scalar"
@@ -115,7 +116,7 @@ def simulate_timing(
     timing = Timing(instructions=len(instrs))
     ready: dict[int, int] = {}
     cycle = 0  # next free issue slot
-    fpu_busy_until = 0
+    fpu = FpuOccupancy()  # this core's private FPU instance
     last_writeback = 0
 
     for instr in instrs:
@@ -124,8 +125,8 @@ def simulate_timing(
             when = ready.get(src, 0)
             if when > earliest:
                 earliest = when
-        if instr.kind == Kind.FP and earliest < fpu_busy_until:
-            earliest = fpu_busy_until
+        if instr.kind == Kind.FP:
+            earliest = fpu.earliest_issue(earliest)
 
         stall = earliest - cycle
         issue = earliest
@@ -133,18 +134,18 @@ def simulate_timing(
         if instr.kind == Kind.BRANCH and instr.taken:
             consumed += BRANCH_TAKEN_PENALTY
 
-        latency = _result_latency(instr, fp_latency_override)
+        latency = result_latency(instr, fp_latency_override)
         if instr.dst is not None:
             done = issue + latency
             ready[instr.dst] = done
             if done > last_writeback:
                 last_writeback = done
-        if instr.kind == Kind.FP and instr.op in ("div", "sqrt"):
-            fpu_busy_until = issue + latency
+        if instr.kind == Kind.FP:
+            fpu.note_issue(instr.op, issue, latency)
 
         cycle = issue + consumed
         timing.stall_cycles += stall
-        timing.add_class_cycles(_classify(instr), stall + consumed)
+        timing.add_class_cycles(classify(instr), stall + consumed)
 
     timing.cycles = max(cycle, last_writeback)
     return timing

@@ -6,6 +6,7 @@ from .energy import (
     cast_energy_pj,
     op_energy_pj,
 )
+from .occupancy import FpuOccupancy
 from .ops import (
     ARITH_OPS,
     CAST_OPS,
@@ -44,4 +45,5 @@ __all__ = [
     "op_energy_pj",
     "FPUResult",
     "TransprecisionFPU",
+    "FpuOccupancy",
 ]

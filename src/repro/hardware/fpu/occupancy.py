@@ -1,0 +1,70 @@
+"""Occupancy state of one FPU instance (the structural-hazard model).
+
+The single-core pipeline model and the multi-core cluster arbiter share
+the same two structural facts about the transprecision FPU:
+
+* **sequential block** -- div/sqrt iterate in the unit; nothing else can
+  issue to it until they complete (the ``fpu_busy_until`` hazard the
+  single-core model always had);
+* **issue port** -- the unit accepts one new operation per cycle.  A
+  single core can never violate this (it issues at most one instruction
+  per cycle anyway), which is why the single-core model never had to
+  track it; it becomes *the* contended resource once several cores share
+  one FPU instance.
+
+:class:`FpuOccupancy` holds both.  :func:`repro.hardware.cpu
+.simulate_timing` drives one instance per core; the cluster arbiter
+drives one instance per *shared* FPU and layers round-robin arbitration
+on top.
+"""
+
+from __future__ import annotations
+
+from .ops import SEQUENTIAL_OPS
+
+__all__ = ["FpuOccupancy"]
+
+
+class FpuOccupancy:
+    """Busy state of one FPU instance.
+
+    Attributes
+    ----------
+    busy_until:
+        First cycle at which the unit is free of a sequential (div/sqrt)
+        operation; pipelined arithmetic never sets it.
+    port_busy_until:
+        First cycle at which the issue port accepts a new operation
+        (the cycle after the last accepted issue).
+    """
+
+    __slots__ = ("busy_until", "port_busy_until")
+
+    def __init__(self) -> None:
+        self.busy_until = 0
+        self.port_busy_until = 0
+
+    def earliest_issue(self, cycle: int) -> int:
+        """Earliest cycle >= ``cycle`` at which an FP op can issue here."""
+        earliest = cycle
+        if self.busy_until > earliest:
+            earliest = self.busy_until
+        if self.port_busy_until > earliest:
+            earliest = self.port_busy_until
+        return earliest
+
+    def note_issue(self, op: str | None, issue: int, latency: int) -> None:
+        """Record an accepted FP issue at cycle ``issue``.
+
+        Sequential operations block the whole unit for their latency;
+        every operation occupies the issue port for its issue cycle.
+        """
+        self.port_busy_until = issue + 1
+        if op in SEQUENTIAL_OPS:
+            self.busy_until = issue + latency
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FpuOccupancy(busy_until={self.busy_until}, "
+            f"port_busy_until={self.port_busy_until})"
+        )

@@ -17,7 +17,7 @@ from .isa import Instr, Kind
 from .memory import MemoryStats, count_memory
 from .program import Program
 
-__all__ = ["RunReport", "VirtualPlatform"]
+__all__ = ["RunReport", "VirtualPlatform", "assemble_report"]
 
 
 @dataclass
@@ -120,6 +120,39 @@ class RunReport:
         )
 
 
+def assemble_report(
+    program: Program, timing: Timing, energy_model: EnergyModel
+) -> RunReport:
+    """Build the full report for one replayed program.
+
+    Shared by :class:`VirtualPlatform` and the multi-core
+    :class:`repro.cluster.ClusterPlatform` (which times the streams
+    itself, contention included, but accounts memory, energy and
+    operation counts by exactly the same rules).
+    """
+    memory = count_memory(program.instrs)
+    energy = energy_model.split(program.instrs, timing.stall_cycles)
+
+    fp: Counter = Counter()
+    casts: Counter = Counter()
+    for instr in program.instrs:
+        if instr.kind == Kind.FP:
+            fp[(instr.fmt.name, instr.op, instr.lanes)] += 1
+        elif instr.kind == Kind.CAST:
+            src = instr.src_fmt.name if instr.src_fmt else "int32"
+            dst = instr.fmt.name if instr.fmt else "int32"
+            casts[(src, dst, instr.lanes)] += 1
+
+    return RunReport(
+        program=program.name,
+        timing=timing,
+        memory=memory,
+        energy=energy,
+        fp_instrs=fp,
+        cast_instrs=casts,
+    )
+
+
 class VirtualPlatform:
     """Run programs and collect reports.
 
@@ -140,6 +173,10 @@ class VirtualPlatform:
     @property
     def energy_model(self) -> EnergyModel:
         return self._energy
+
+    @property
+    def fp_latency_override(self) -> dict[str, int] | None:
+        return self._fp_latency_override
 
     # ------------------------------------------------------------------
     # Serialization (worker-session bootstrap)
@@ -184,24 +221,4 @@ class VirtualPlatform:
     def run(self, program: Program) -> RunReport:
         """Replay a built kernel through timing, memory and energy."""
         timing = simulate_timing(program.instrs, self._fp_latency_override)
-        memory = count_memory(program.instrs)
-        energy = self._energy.split(program.instrs, timing.stall_cycles)
-
-        fp: Counter = Counter()
-        casts: Counter = Counter()
-        for instr in program.instrs:
-            if instr.kind == Kind.FP:
-                fp[(instr.fmt.name, instr.op, instr.lanes)] += 1
-            elif instr.kind == Kind.CAST:
-                src = instr.src_fmt.name if instr.src_fmt else "int32"
-                dst = instr.fmt.name if instr.fmt else "int32"
-                casts[(src, dst, instr.lanes)] += 1
-
-        return RunReport(
-            program=program.name,
-            timing=timing,
-            memory=memory,
-            energy=energy,
-            fp_instrs=fp,
-            cast_instrs=casts,
-        )
+        return assemble_report(program, timing, self._energy)

@@ -16,7 +16,13 @@ cache hits.  The analysis drivers all route through this engine via
 """
 
 from .engine import ExperimentRunner, RunnerCounters, execute_job
-from .jobs import REPORT_VARIANTS, compute_flow, compute_report, strip_casts
+from .jobs import (
+    REPORT_VARIANTS,
+    compute_cluster,
+    compute_flow,
+    compute_report,
+    strip_casts,
+)
 from .store import STORE_VERSION, JobSpec, ResultStore, default_store_dir
 
 __all__ = [
@@ -26,6 +32,7 @@ __all__ = [
     "REPORT_VARIANTS",
     "compute_flow",
     "compute_report",
+    "compute_cluster",
     "strip_casts",
     "JobSpec",
     "ResultStore",

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
+from repro.cluster import ClusterReport
 from repro.flow import FlowResult
 from repro.hardware import RunReport
 from repro.session import Session
@@ -40,7 +41,7 @@ from repro.tuning import (
     type_system,
 )
 
-from .jobs import compute_flow, compute_report
+from .jobs import compute_cluster, compute_flow, compute_report
 from .store import JobSpec, ResultStore
 
 __all__ = ["ExperimentRunner", "RunnerCounters", "execute_job"]
@@ -110,7 +111,10 @@ def execute_job(runner_spec: dict, job: JobSpec) -> dict:
             store.save(flow_spec, flow.to_payload())
             return flow
 
-        result = compute_report(job, session, get_flow)
+        if job.kind == "cluster":
+            result = compute_cluster(job, session, get_flow)
+        else:
+            result = compute_report(job, session, get_flow)
 
     payload = result.to_payload()
     store.save(job, payload)
@@ -203,6 +207,21 @@ class ExperimentRunner:
             strategy=self._strategy_name(strategy),
         )
 
+    def cluster_spec(
+        self,
+        app: str,
+        ts: "str | TypeSystem",
+        precision: float,
+        cores: int,
+        fpu_ratio: int = 1,
+        strategy: "str | None" = None,
+    ) -> JobSpec:
+        return JobSpec(
+            "cluster", app, self.scale, self._ts_name(ts),
+            float(precision), strategy=self._strategy_name(strategy),
+            cores=int(cores), fpu_ratio=int(fpu_ratio),
+        )
+
     @staticmethod
     def _ts_name(ts: "str | TypeSystem") -> str:
         """Reduce a type system to its registry name for the job key.
@@ -265,6 +284,20 @@ class ExperimentRunner:
             self.report_spec(variant, app, ts, precision, strategy)
         )
 
+    def cluster(
+        self,
+        app: str,
+        ts: "str | TypeSystem",
+        precision: float,
+        cores: int,
+        fpu_ratio: int = 1,
+        strategy: "str | None" = None,
+    ) -> ClusterReport:
+        """A cluster strong-scaling point (memo -> store -> compute)."""
+        return self._fetch(
+            self.cluster_spec(app, ts, precision, cores, fpu_ratio, strategy)
+        )
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -324,11 +357,12 @@ class ExperimentRunner:
             return results
 
         runner_spec = self._runner_spec(pending)
-        # Reports derive from flows: run the flow wave first so report
-        # workers find their parent flows already stored.
+        # Reports and cluster replays derive from flows: run the flow
+        # wave first so derived-job workers find their parent flows
+        # already stored.
         waves = (
             [s for s in pending if s.kind == "flow"],
-            [s for s in pending if s.kind == "report"],
+            [s for s in pending if s.kind != "flow"],
         )
         with ProcessPoolExecutor(
             max_workers=min(self.jobs, len(pending))
@@ -397,7 +431,10 @@ class ExperimentRunner:
                 spec, self.session, cache_dir=self.cache_dir
             )
         else:
-            result = compute_report(
+            compute = (
+                compute_cluster if spec.kind == "cluster" else compute_report
+            )
+            result = compute(
                 spec,
                 self.session,
                 lambda app, ts, precision: self.flow(
@@ -413,6 +450,8 @@ class ExperimentRunner:
     def _decode(spec: JobSpec, payload: dict):
         if spec.kind == "flow":
             return FlowResult.from_payload(payload)
+        if spec.kind == "cluster":
+            return ClusterReport.from_payload(payload)
         return RunReport.from_payload(payload)
 
     def _report_progress(

@@ -11,6 +11,7 @@ Layout under the store root::
     <root>/v<VERSION>/flow/conv-tiny-V2-0.1-reference.json
     <root>/v<VERSION>/report/baseline-conv-tiny-reference.json
     <root>/v<VERSION>/report/pca_manual-pca-tiny-V2-0.001-reference.json
+    <root>/v<VERSION>/cluster/conv-tiny-V2-0.1-c4r2-reference.json
 
 Every file is a self-describing envelope ``{"version", "kind", "key",
 "payload"}``; readers reject entries whose version does not match
@@ -48,14 +49,17 @@ class JobSpec:
     """One grid point: what to compute, not how or where.
 
     ``kind`` is ``"flow"`` (the five-step flow, yielding a
-    :class:`~repro.flow.FlowResult`) or ``"report"`` (a derived virtual-
+    :class:`~repro.flow.FlowResult`), ``"report"`` (a derived virtual-
     platform replay, yielding a :class:`~repro.hardware.RunReport`;
-    ``variant`` names which one).  ``strategy`` names the tuning
-    strategy the job's flow (or the report's parent flow) uses; it is
-    part of the identity whenever the job depends on a tuning, so a
-    bisection campaign can never alias stored greedy results.  Frozen
-    and built from primitives, so specs are hashable dict keys and
-    pickle cleanly across the process pool.
+    ``variant`` names which one) or ``"cluster"`` (the tuned kernel
+    partitioned across a multi-core cluster, yielding a
+    :class:`~repro.cluster.ClusterReport`; ``cores``/``fpu_ratio`` name
+    the topology).  ``strategy`` names the tuning strategy the job's
+    flow (or the derived job's parent flow) uses; it is part of the
+    identity whenever the job depends on a tuning, so a bisection
+    campaign can never alias stored greedy results.  Frozen and built
+    from primitives, so specs are hashable dict keys and pickle cleanly
+    across the process pool.
     """
 
     kind: str
@@ -65,14 +69,35 @@ class JobSpec:
     precision: float = 0.0
     variant: str = ""
     strategy: str = DEFAULT_STRATEGY
+    #: Cluster topology (cluster jobs only; fixed at 1/1 elsewhere so
+    #: single-core job identities -- and their store keys -- are
+    #: untouched by the cluster dimension).
+    cores: int = 1
+    fpu_ratio: int = 1
 
     def __post_init__(self) -> None:
-        if self.kind not in ("flow", "report"):
+        if self.kind not in ("flow", "report", "cluster"):
             raise ValueError(f"unknown job kind {self.kind!r}")
         if self.kind == "report" and not self.variant:
             raise ValueError("report jobs need a variant name")
-        if self.kind == "flow" and not self.type_system:
-            raise ValueError("flow jobs need a type system")
+        if self.kind in ("flow", "cluster") and not self.type_system:
+            raise ValueError(f"{self.kind} jobs need a type system")
+        if self.kind != "cluster":
+            if self.cores != 1 or self.fpu_ratio != 1:
+                raise ValueError(
+                    "cores/fpu_ratio are a cluster-job dimension; "
+                    f"{self.kind} jobs are single-core"
+                )
+        else:
+            if self.cores < 1 or self.fpu_ratio < 1:
+                raise ValueError(
+                    f"bad cluster topology {self.cores}x{self.fpu_ratio}"
+                )
+            if self.cores == 1 and self.fpu_ratio != 1:
+                # One core never shares: every ratio is the same run.
+                # Normalize so the grid's 1-core column is computed
+                # (and stored) once.
+                object.__setattr__(self, "fpu_ratio", 1)
         if not self.type_system and self.strategy != DEFAULT_STRATEGY:
             # Tuning-independent jobs (e.g. the binary32 baseline
             # replay) are identical under every strategy: normalize so
@@ -92,6 +117,8 @@ class JobSpec:
         if self.type_system:
             parts.append(self.type_system)
             parts.append(f"{self.precision:g}")
+        if self.kind == "cluster":
+            parts.append(f"c{self.cores}r{self.fpu_ratio}")
         if self.strategy != DEFAULT_STRATEGY:
             parts.append(self.strategy)
         return tuple(parts)
@@ -103,6 +130,8 @@ class JobSpec:
             fields += [self.type_system, f"{self.precision:g}"]
         if self.variant:
             fields.append(self.variant)
+        if self.kind == "cluster":
+            fields.append(f"{self.cores} cores 1:{self.fpu_ratio}")
         if self.strategy != DEFAULT_STRATEGY:
             fields.append(self.strategy)
         return f"{self.kind} {' '.join(fields)}"
@@ -160,7 +189,7 @@ class ResultStore:
         turns such a collision into an honest miss instead of silently
         handing one grid point another's results.
         """
-        return {
+        key = {
             "app": spec.app,
             "scale": spec.scale,
             "type_system": spec.type_system,
@@ -170,6 +199,13 @@ class ResultStore:
             "backend": self.backend,
             "env": self.env,
         }
+        if spec.kind == "cluster":
+            # Only cluster envelopes carry the topology: flow/report
+            # entries written before the cluster dimension existed keep
+            # validating (and new ones stay byte-compatible with them).
+            key["cores"] = spec.cores
+            key["fpu_ratio"] = spec.fpu_ratio
+        return key
 
     # ------------------------------------------------------------------
     def load(self, spec: JobSpec) -> dict | None:

@@ -60,6 +60,7 @@ from .core.formats import STANDARD_FORMATS, FPFormat
 from .core.stats import Stats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cluster import ClusterPlatform
     from .flow import TransprecisionFlow
     from .hardware import VirtualPlatform
 
@@ -151,6 +152,27 @@ class Session:
 
             self._platform = VirtualPlatform()
         return self._platform
+
+    def cluster_platform(self, config) -> "ClusterPlatform":
+        """A multi-core cluster platform sharing this session's models.
+
+        ``config`` is a :class:`repro.cluster.ClusterConfig` (or a
+        ``(cores, fpu_ratio)`` pair).  The cluster inherits the
+        session platform's energy model and FP-latency overrides, so a
+        one-core 1:1 cluster reproduces :attr:`platform` runs bit for
+        bit.
+        """
+        from .cluster import ClusterConfig, ClusterPlatform
+
+        if not isinstance(config, ClusterConfig):
+            cores, fpu_ratio = config
+            config = ClusterConfig(int(cores), int(fpu_ratio))
+        platform = self.platform
+        return ClusterPlatform(
+            config,
+            energy_model=platform.energy_model,
+            fp_latency_override=platform.fp_latency_override,
+        )
 
     # ------------------------------------------------------------------
     # Activation

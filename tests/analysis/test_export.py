@@ -27,8 +27,8 @@ class TestExportAll:
         out_dir, paths = exported
         names = {p.name for p in paths}
         assert {"motivation.json", "table1.json", "fig4.json",
-                "fig5.json", "fig6.json", "fig7.json",
-                "fig4.csv", "fig6.csv", "fig7.csv"} <= names
+                "fig5.json", "fig6.json", "fig7.json", "cluster.json",
+                "fig4.csv", "fig6.csv", "fig7.csv", "cluster.csv"} <= names
         assert all(p.exists() for p in paths)
 
     def test_json_parses(self, exported):
@@ -42,6 +42,17 @@ class TestExportAll:
             rows = list(csv.reader(handle))
         assert rows[0][0] == "precision"
         assert len(rows) == 1 + 2  # header + 2 apps x 1 precision
+
+    def test_cluster_csv_covers_the_scaling_grid(self, exported):
+        out_dir, _ = exported
+        with open(out_dir / "cluster.csv") as handle:
+            rows = list(csv.DictReader(handle))
+        # conv + knn are partitionable: 3 ratios x 4 core counts each.
+        assert len(rows) == 2 * 3 * 4
+        assert {row["app"] for row in rows} == {"conv", "knn"}
+        for row in rows:
+            if int(row["cores"]) == 1:
+                assert float(row["speedup"]) == 1.0
 
     def test_fig4_csv_long_form(self, exported):
         out_dir, _ = exported

@@ -1,0 +1,120 @@
+"""ClusterPlatform/ClusterReport: identity, payloads, energy, scaling."""
+
+import json
+
+import pytest
+
+from repro.apps import APP_NAMES, make_app
+from repro.cluster import (
+    FPU_STATIC_PJ_PER_CYCLE,
+    ClusterConfig,
+    ClusterPlatform,
+    ClusterReport,
+)
+from repro.hardware import VirtualPlatform
+
+
+def run_cluster(app_name, cores, ratio, scale="tiny", binding=None):
+    app = make_app(app_name, scale)
+    platform = ClusterPlatform(ClusterConfig(cores, ratio))
+    return platform.run_app(
+        app, binding if binding is not None else app.baseline_binding()
+    )
+
+
+class TestSingleCoreIdentity:
+    @pytest.mark.parametrize("app_name", APP_NAMES)
+    def test_one_core_one_to_one_equals_virtual_platform(self, app_name):
+        """The acceptance bar: every app's 1-core/1:1 cluster replay is
+        bit-identical to the existing single-core RunReport."""
+        app = make_app(app_name, "tiny")
+        binding = app.baseline_binding()
+        single = VirtualPlatform().run(app.build_program(binding))
+        report = run_cluster(app_name, 1, 1, binding=binding)
+        assert report.cores[0] == single
+        assert report.cores[0].to_payload() == single.to_payload()
+        assert report.cycles == single.timing.cycles
+        assert report.speedup == 1.0
+        assert report.efficiency == 1.0
+        assert report.contention_stalls == [0]
+
+
+class TestScaling:
+    @pytest.mark.parametrize("app_name", ("conv", "dwt", "knn", "jacobi"))
+    def test_four_cores_speed_up_partitionable_apps(self, app_name):
+        report = run_cluster(app_name, 4, 1)
+        assert report.speedup > 1.0
+        assert report.efficiency <= 1.0
+
+    def test_unpartitionable_apps_fall_back_to_core_zero(self):
+        report = run_cluster("pca", 4, 1)
+        single = run_cluster("pca", 1, 1)
+        assert report.cycles == single.cycles
+        assert report.speedup == 1.0
+        assert [r.instructions for r in report.cores[1:]] == [0, 0, 0]
+
+    def test_sharing_costs_cycles_but_never_correctness(self):
+        shared = run_cluster("dwt", 4, 4)
+        private = run_cluster("dwt", 4, 1)
+        assert shared.cycles >= private.cycles
+        assert shared.total_contention > 0
+        assert private.total_contention == 0
+        # Same work either way: per-core instruction streams are equal.
+        assert [r.instructions for r in shared.cores] == [
+            r.instructions for r in private.cores
+        ]
+
+    def test_program_count_must_match_cores(self):
+        app = make_app("conv", "tiny")
+        platform = ClusterPlatform(ClusterConfig(4, 2))
+        with pytest.raises(ValueError):
+            platform.run([app.build_program(app.baseline_binding())])
+
+
+class TestEnergy:
+    def test_fpu_static_term_follows_instance_count(self):
+        report = run_cluster("conv", 4, 2)
+        assert report.fpu_static_pj == pytest.approx(
+            2 * report.cycles * FPU_STATIC_PJ_PER_CYCLE
+        )
+
+    def test_sharing_amortizes_static_energy(self):
+        """Fewer FPU instances -> a smaller static term, the cluster
+        papers' amortization argument (total energy may still move
+        either way with contention)."""
+        private = run_cluster("conv", 4, 1)
+        shared = run_cluster("conv", 4, 4)
+        assert (
+            shared.fpu_static_pj / shared.cycles
+            < private.fpu_static_pj / private.cycles
+        )
+
+    def test_cluster_energy_sums_cores_plus_static(self):
+        report = run_cluster("knn", 2, 2)
+        expected = (
+            sum(r.energy.total_pj for r in report.cores)
+            + report.fpu_static_pj
+        )
+        assert report.energy_pj == pytest.approx(expected)
+
+
+class TestPayload:
+    @pytest.mark.parametrize("cores,ratio", [(1, 1), (4, 2), (8, 4)])
+    def test_round_trip_is_lossless(self, cores, ratio):
+        report = run_cluster("conv", cores, ratio)
+        payload = report.to_payload()
+        # JSON-able all the way down (what the result store persists).
+        restored = ClusterReport.from_payload(
+            json.loads(json.dumps(payload))
+        )
+        assert restored == report
+        assert restored.to_payload() == payload
+
+    def test_round_trip_preserves_derived_metrics(self):
+        report = run_cluster("jacobi", 4, 2)
+        restored = ClusterReport.from_payload(report.to_payload())
+        assert restored.cycles == report.cycles
+        assert restored.speedup == report.speedup
+        assert restored.efficiency == report.efficiency
+        assert restored.energy_pj == report.energy_pj
+        assert restored.total_contention == report.total_contention

@@ -1,0 +1,55 @@
+"""ClusterConfig topology rules and serialization."""
+
+import pytest
+
+from repro.cluster import ClusterConfig
+
+
+class TestTopology:
+    def test_defaults_to_single_core(self):
+        cfg = ClusterConfig()
+        assert cfg.n_cores == 1 and cfg.fpu_ratio == 1
+        assert cfg.n_fpus == 1
+
+    @pytest.mark.parametrize(
+        "cores,ratio,fpus",
+        [(8, 1, 8), (8, 2, 4), (8, 4, 2), (4, 4, 1), (2, 4, 1), (3, 2, 2)],
+    )
+    def test_fpu_instance_count(self, cores, ratio, fpus):
+        assert ClusterConfig(cores, ratio).n_fpus == fpus
+
+    def test_core_to_fpu_wiring_is_by_neighbour_group(self):
+        cfg = ClusterConfig(8, 4)
+        assert [cfg.fpu_of(c) for c in range(8)] == [0] * 4 + [1] * 4
+        assert list(cfg.cores_of(1)) == [4, 5, 6, 7]
+
+    def test_last_group_may_be_partial(self):
+        cfg = ClusterConfig(6, 4)
+        assert cfg.n_fpus == 2
+        assert list(cfg.cores_of(1)) == [4, 5]
+
+    def test_invalid_topologies_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(0, 1)
+        with pytest.raises(ValueError):
+            ClusterConfig(4, 0)
+        with pytest.raises(ValueError):
+            ClusterConfig(4, 2).fpu_of(4)
+        with pytest.raises(ValueError):
+            ClusterConfig(4, 2).cores_of(2)
+
+    def test_labels(self):
+        cfg = ClusterConfig(8, 2)
+        assert cfg.ratio_label == "1:2"
+        assert "8 cores" in cfg.describe()
+
+
+class TestPayload:
+    def test_round_trip(self):
+        cfg = ClusterConfig(8, 4)
+        assert ClusterConfig.from_payload(cfg.to_payload()) == cfg
+
+    def test_payload_is_json_primitive(self):
+        import json
+
+        json.dumps(ClusterConfig(2, 2).to_payload())

@@ -1,0 +1,109 @@
+"""End-to-end cluster campaign: driver, runner, CLI, warm store."""
+
+import pytest
+
+from repro.analysis import ExperimentConfig, cluster, cluster_specs
+from repro.cli import main
+
+
+def make_cfg(tmp_path, **overrides):
+    kwargs = dict(
+        scale="tiny",
+        cache_dir=tmp_path / "cache",
+        store_dir=tmp_path / "store",
+        apps=("conv", "svm"),  # svm is not partitionable: filtered out
+        cores=(1, 2, 4),
+        fpu_ratios=(1, 2),
+    )
+    kwargs.update(overrides)
+    return ExperimentConfig(**kwargs)
+
+
+class TestClusterDriver:
+    @pytest.fixture(scope="class")
+    def warm(self, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("cluster-driver")
+        cfg = make_cfg(tmp_path)
+        return tmp_path, cluster.compute(cfg)
+
+    def test_only_partitionable_apps_are_swept(self, warm):
+        _, result = warm
+        assert set(result["apps"]) == {"conv"}
+
+    def test_grid_axes_follow_the_config(self, warm):
+        _, result = warm
+        assert result["cores"] == [1, 2, 4]
+        assert result["fpu_ratios"] == [1, 2]
+        conv = result["apps"]["conv"]
+        assert set(conv["ratios"]) == {1, 2}
+        assert set(conv["ratios"][1]) == {1, 2, 4}
+
+    def test_speedup_at_four_cores_beats_one(self, warm):
+        _, result = warm
+        column = result["apps"]["conv"]["ratios"][1]
+        assert column[4]["speedup"] > 1.0
+
+    def test_efficiency_is_monotone_non_increasing(self, warm):
+        _, result = warm
+        conv = result["apps"]["conv"]
+        assert conv["efficiency_monotone"]
+        for column in conv["ratios"].values():
+            efficiencies = [column[n]["efficiency"] for n in sorted(column)]
+            assert efficiencies == sorted(efficiencies, reverse=True)
+
+    def test_one_core_column_matches_the_single_core_report(self, warm):
+        _, result = warm
+        conv = result["apps"]["conv"]
+        assert conv["single_core_consistent"]
+        assert conv["ratios"][1][1]["cycles"] == conv["serial_cycles"]
+        assert conv["ratios"][1][1]["speedup"] == 1.0
+
+    def test_render_tabulates_every_ratio(self, warm):
+        _, result = warm
+        text = cluster.render(result)
+        assert "conv" in text
+        assert "1:1" in text and "1:2" in text
+        assert "monotone" in text
+        assert "WARNING" not in text
+
+    def test_warm_store_recomputes_nothing(self, warm):
+        """A fresh engine over the same store satisfies the whole
+        cluster grid from disk: zero cluster (or flow) recomputation."""
+        tmp_path, first = warm
+        cfg = make_cfg(tmp_path)
+        again = cluster.compute(cfg)
+        assert again == first
+        assert cfg.runner.counters.computed == 0
+        assert cfg.runner.counters.store_hits > 0
+
+    def test_parallel_campaign_is_bit_identical_to_serial(
+        self, warm, tmp_path
+    ):
+        tmp_path_serial, first = warm
+        cfg = make_cfg(tmp_path, jobs=2)
+        specs = cluster_specs(cfg)
+        cfg.runner.run(specs)
+        assert cluster.compute(cfg) == first
+
+
+class TestClusterCli:
+    def test_repro_cluster_command(self, tmp_path, capsys):
+        code = main(
+            [
+                "cluster",
+                "--scale", "tiny",
+                "--apps", "conv",
+                "--cores", "1,2",
+                "--fpu-ratio", "1",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--store-dir", str(tmp_path / "store"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Cluster strong scaling" in out
+        assert "1:1" in out
+
+    def test_bad_cores_flag_is_a_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--cores", "zero", "--scale", "tiny"])

@@ -1,0 +1,113 @@
+"""The cluster dimension must never disturb existing store keys."""
+
+import pytest
+
+from repro.runner import STORE_VERSION, JobSpec, ResultStore
+
+
+def flow_spec(**overrides):
+    base = dict(
+        kind="flow", app="conv", scale="tiny",
+        type_system="V2", precision=1e-1,
+    )
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+def cluster_spec(**overrides):
+    base = dict(
+        kind="cluster", app="conv", scale="tiny",
+        type_system="V2", precision=1e-1, cores=4, fpu_ratio=2,
+    )
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+class TestClusterJobSpec:
+    def test_cluster_jobs_need_a_type_system(self):
+        with pytest.raises(ValueError):
+            JobSpec("cluster", "conv", "tiny", cores=4)
+
+    def test_single_core_kinds_reject_the_cluster_dimension(self):
+        with pytest.raises(ValueError):
+            flow_spec(cores=4)
+        with pytest.raises(ValueError):
+            JobSpec(
+                "report", "conv", "tiny", variant="baseline", fpu_ratio=2
+            )
+
+    def test_bad_topologies_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_spec(cores=0)
+        with pytest.raises(ValueError):
+            cluster_spec(fpu_ratio=0)
+
+    def test_one_core_normalizes_the_sharing_ratio(self):
+        """One core never shares: every ratio is one run, stored once."""
+        assert cluster_spec(cores=1, fpu_ratio=4) == cluster_spec(
+            cores=1, fpu_ratio=1
+        )
+
+    def test_describe_mentions_the_topology(self):
+        text = cluster_spec().describe()
+        assert "4 cores" in text and "1:2" in text
+
+
+class TestStoreKeys:
+    def test_single_core_keys_are_untouched_by_the_cluster_dimension(
+        self, tmp_path
+    ):
+        """Regression: pre-cluster layouts must keep their exact file
+        names, so existing warm stores stay warm."""
+        store = ResultStore(tmp_path, backend="reference")
+        assert store.path(flow_spec()) == (
+            tmp_path / f"v{STORE_VERSION}" / "flow"
+            / "conv-tiny-V2-0.1-reference.json"
+        )
+        report = JobSpec("report", "conv", "tiny", variant="baseline")
+        assert store.path(report).name == "baseline-conv-tiny-reference.json"
+
+    def test_cluster_keys_carry_the_topology(self, tmp_path):
+        store = ResultStore(tmp_path, backend="reference")
+        assert store.path(cluster_spec()) == (
+            tmp_path / f"v{STORE_VERSION}" / "cluster"
+            / "conv-tiny-V2-0.1-c4r2-reference.json"
+        )
+
+    def test_cluster_jobs_never_alias_flow_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(flow_spec(), {"kind": "flow"})
+        store.save(cluster_spec(cores=1), {"kind": "cluster"})
+        assert store.load(flow_spec()) == {"kind": "flow"}
+        assert store.load(cluster_spec(cores=1)) == {"kind": "cluster"}
+
+    def test_distinct_topologies_never_alias(self, tmp_path):
+        store = ResultStore(tmp_path)
+        specs = [
+            cluster_spec(cores=cores, fpu_ratio=ratio)
+            for cores in (1, 2, 4, 8)
+            for ratio in (1, 2, 4)
+        ]
+        paths = {store.path(spec) for spec in specs}
+        # 1-core entries normalize across ratios; everything else is
+        # pairwise distinct.
+        assert len(paths) == 1 + 3 * 3
+
+    def test_envelope_cross_check_includes_the_topology(self, tmp_path):
+        """A hand-renamed cluster file must read as a miss, not as a
+        different topology's results."""
+        store = ResultStore(tmp_path)
+        written = store.save(cluster_spec(cores=4), {"cycles": 1})
+        imposter = store.path(cluster_spec(cores=8))
+        imposter.parent.mkdir(parents=True, exist_ok=True)
+        imposter.write_bytes(written.read_bytes())
+        assert store.load(cluster_spec(cores=8)) is None
+
+    def test_old_flow_envelopes_still_validate(self, tmp_path):
+        """Envelopes written before the cluster dimension existed carry
+        no cores/fpu_ratio key fields -- they must keep loading."""
+        store = ResultStore(tmp_path)
+        store.save(flow_spec(), {"payload": 1})
+        envelope_key = store._key(flow_spec())
+        assert "cores" not in envelope_key
+        assert store.load(flow_spec()) == {"payload": 1}

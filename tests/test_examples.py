@@ -52,3 +52,24 @@ class TestExamples:
     def test_custom_app(self):
         out = run_example("custom_app.py")
         assert "precision 0.001" in out
+
+    def test_cluster_scaling(self):
+        out = run_example("cluster_scaling.py", "conv", "tiny")
+        assert "1:4" in out
+        assert "contention stalls" in out
+        assert "FPU instances" in out
+
+    def test_cluster_scaling_rejects_unpartitionable_apps(self):
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(EXAMPLES / "cluster_scaling.py"),
+                "pca",
+                "tiny",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode != 0
+        assert "no data-parallel partition" in result.stderr
