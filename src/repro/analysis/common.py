@@ -25,7 +25,7 @@ from repro.apps import APP_CLASSES, APP_NAMES
 from repro.core.backend import Backend
 from repro.flow import FlowResult
 from repro.hardware import RunReport
-from repro.runner import ExperimentRunner, JobSpec
+from repro.runner import ExperimentRunner, JobSpec, RetryPolicy
 from repro.session import Session
 from repro.tuning import V1, V2, TypeSystem
 from repro.tuning import type_system as _type_system
@@ -92,6 +92,15 @@ class ExperimentConfig:
     store_dir: Path | None = None
     #: Worker processes for grid prefetches; ``<= 1`` stays in-process.
     jobs: int = 1
+    #: Seconds one pool job may run before it is abandoned and retried
+    #: on a fresh pool (None: no deadline; parallel runs only).
+    job_timeout: float | None = None
+    #: Transient-failure retries per job (None: the runner's default
+    #: :class:`~repro.runner.RetryPolicy`; 0 disables retries).
+    retries: int | None = None
+    #: When True, a campaign with failed-beyond-retry jobs raises one
+    #: aggregate :class:`~repro.runner.CampaignError` at the end.
+    strict: bool = False
     session: Session | None = field(default=None, compare=False)
     #: Per-job progress callback forwarded to the runner.
     progress: object = field(default=None, repr=False, compare=False)
@@ -154,6 +163,13 @@ class ExperimentConfig:
                 cache_dir=self.resolved_cache_dir(),
                 jobs=self.jobs,
                 progress=self.progress,
+                job_timeout=self.job_timeout,
+                retry=(
+                    RetryPolicy(max_retries=max(0, int(self.retries)))
+                    if self.retries is not None
+                    else None
+                ),
+                strict=self.strict,
             )
         return self._runner
 

@@ -23,6 +23,11 @@ Examples::
     python -m repro tune --scale tiny --apps conv --strategy bisect
     python -m repro strategies --scale tiny   # cost-comparison table
     python -m repro fig6 --strategy bisect    # any driver, any solver
+
+    # Fault tolerance: bounded retries, per-job timeouts, store audit.
+    python -m repro run --jobs 4 --job-timeout 600 --retries 3 --strict
+    python -m repro store fsck --store-dir results/store
+    REPRO_FAULTS='{"seed": 7, "crash_rate": 0.3}' python -m repro run ...
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ import argparse
 import sys
 import time
 
+from repro import faults
 from repro.analysis import (
     ExperimentConfig,
     ablation,
@@ -126,19 +132,42 @@ def _render_fpu() -> str:
     return "\n".join(lines)
 
 
+_STATUS_LABELS = {
+    "memo": "memo ",
+    "hit": "hit  ",
+    "run": "ran  ",
+    "retry": "retry",
+    "timeout": "tmout",
+    "fail": "FAIL ",
+}
+
+
 def _progress_printer(index, total, spec, status, seconds) -> None:
     """Per-job progress line for ``repro run``."""
-    width = len(str(total))
-    label = {"memo": "memo ", "hit": "hit  ", "run": "ran  "}[status]
+    label = _STATUS_LABELS.get(status, f"{status:5.5s}")
+    if total:
+        width = len(str(total))
+        head = f"[{index:{width}d}/{total}] "
+    else:
+        # Mid-job notifications (retry/timeout) carry no completion
+        # index -- the job is still in flight.
+        head = "[ .. ] "
     print(
-        f"  [{index:{width}d}/{total}] {label}{spec.describe():44s}"
-        f" {seconds:6.1f}s",
+        f"  {head}{label}{spec.describe():44s} {seconds:6.1f}s",
         flush=True,
     )
 
 
-def _run_grid(cfg: ExperimentConfig) -> None:
-    """The ``repro run`` subcommand: warm the store for the full grid."""
+def _run_grid(cfg: ExperimentConfig) -> int:
+    """The ``repro run`` subcommand: warm the store for the full grid.
+
+    Exit codes: 0 -- every job satisfied; 2 -- strict campaign aborted
+    with a :class:`~repro.runner.CampaignError`; 3 -- jobs failed beyond
+    their retry budget (their :class:`~repro.runner.JobFailure` records
+    are listed, everything else completed).
+    """
+    from repro.runner import CampaignError, JobFailure
+
     specs = default_grid(cfg)
     runner = cfg.runner
     print(
@@ -146,7 +175,13 @@ def _run_grid(cfg: ExperimentConfig) -> None:
         f"(scale {cfg.scale}, jobs {cfg.jobs}, "
         f"store {runner.store.root})"
     )
-    runner.run(specs)
+    code = 0
+    try:
+        results = runner.run(specs)
+    except CampaignError as err:
+        print(f"campaign failed (strict): {err}")
+        results = {}
+        code = 2
     counters = runner.counters
     print(
         f"store warm: {counters.computed} computed, "
@@ -155,6 +190,65 @@ def _run_grid(cfg: ExperimentConfig) -> None:
         f"({len(runner.store.entries())} files in "
         f"{runner.store.version_dir})"
     )
+    print(f"ledger: {runner.ledger.summary()}")
+    if counters.corrupt:
+        print(
+            f"quarantined {counters.corrupt} corrupt store entr"
+            f"{'y' if counters.corrupt == 1 else 'ies'} "
+            f"(recomputed; see {runner.store.quarantine_dir})"
+        )
+    failed = [r for r in results.values() if isinstance(r, JobFailure)]
+    if failed:
+        print(f"{len(failed)} job(s) failed beyond their retry budget:")
+        for failure in failed:
+            print(f"  - {failure.describe()}")
+        code = code or 3
+    return code
+
+
+def _store_cli(argv: list[str]) -> int:
+    """The ``repro store <verb>`` maintenance commands (fsck)."""
+    from repro.runner import ResultStore
+
+    parser = argparse.ArgumentParser(
+        prog="repro store",
+        description="Result-store maintenance (audit and repair).",
+    )
+    parser.add_argument("verb", choices=("fsck",))
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        help="store root to audit (default: ./results/store)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="reference",
+        choices=available_backends(),
+        help="backend tag of the entries to audit (part of every key)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report problems without quarantining or sweeping anything",
+    )
+    args = parser.parse_args(argv)
+    store = ResultStore(args.store_dir, backend=args.backend)
+    report = store.fsck(repair=not args.dry_run)
+    verdict = "quarantined" if not args.dry_run else "corrupt"
+    print(
+        f"repro store fsck: scanned {report['scanned']} entries in "
+        f"{store.version_dir}"
+    )
+    print(
+        f"  ok {report['ok']}, {verdict} {len(report['quarantined'])}, "
+        f"temp files {'removed' if not args.dry_run else 'found'} "
+        f"{report['tmp_removed']}"
+    )
+    for path in report["quarantined"]:
+        print(f"  {verdict}: {path}")
+    if args.dry_run and (report["quarantined"] or report["tmp_removed"]):
+        return 1
+    return 0
 
 
 def _list_strategies() -> str:
@@ -207,6 +301,10 @@ def _run_tune(cfg: ExperimentConfig, precision: float = 1e-1) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "store":
+        # Maintenance verbs take their own argument shape.
+        return _store_cli(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -309,6 +407,46 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="with 'tune': list the registered tuning strategies and exit",
     )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "seconds one worker job may run before it is abandoned and "
+            "retried on a fresh pool (default: no deadline; parallel "
+            "runs only)"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "transient-failure retries per job (default: the engine's "
+            "retry policy, 2; 0 disables retries)"
+        ),
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "fail the whole campaign (exit 2) if any job fails beyond "
+            "its retry budget, instead of reporting JobFailure records "
+            "(exit 3)"
+        ),
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="JSON",
+        help=(
+            "JSON FaultPlan to rehearse failure recovery "
+            '(e.g. \'{"seed": 7, "crash_rate": 0.3}\'); defaults to '
+            f"the {faults.ENV_VAR} environment variable when set"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list_strategies:
@@ -319,6 +457,14 @@ def main(argv: list[str] | None = None) -> int:
             )
         print(_list_strategies())
         return 0
+
+    try:
+        plan = faults.plan_from_env(args.fault_plan)
+    except ValueError as err:
+        parser.error(str(err))
+    if plan is not None:
+        faults.activate(plan)
+        print(f"fault injection active: {plan}")
 
     wanted = list(args.experiments)
     if "all" in wanted:
@@ -350,6 +496,9 @@ def main(argv: list[str] | None = None) -> int:
         cores=_int_list(args.cores, "--cores"),
         fpu_ratios=_int_list(args.fpu_ratio, "--fpu-ratio"),
         session=session,
+        job_timeout=args.job_timeout,
+        retries=args.retries,
+        strict=args.strict,
     )
     if args.apps:
         config_kwargs["apps"] = tuple(
@@ -369,7 +518,7 @@ def main(argv: list[str] | None = None) -> int:
         elif name == "run":
             cfg.progress = _progress_printer
             cfg.runner.progress = _progress_printer
-            _run_grid(cfg)
+            exit_code = _run_grid(cfg) or exit_code
             cfg.progress = None
             cfg.runner.progress = None
         elif name == "export":

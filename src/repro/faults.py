@@ -1,0 +1,297 @@
+"""Deterministic, seeded fault injection for the experiment engine.
+
+The fault-tolerance layer (runner retries/timeouts, store quarantine,
+write verification) is only trustworthy if every recovery path can be
+rehearsed on demand -- and rehearsed *bit-reproducibly*, so CI failures
+replay locally.  This module provides that rehearsal harness:
+
+* :class:`FaultPlan` -- a frozen, picklable description of which faults
+  to inject at which rates.  Every decision is a pure function of
+  ``(seed, site, token, attempt)`` via SHA-256, so two runs of the same
+  plan over the same grid inject *exactly* the same faults, regardless
+  of worker count, scheduling order, or which process asks.
+* Injection sites, called from the runner/store at the right moments:
+
+  - :func:`maybe_crash` -- hard worker death (``os._exit``), producing
+    a real ``BrokenProcessPool`` in the parent;
+  - :func:`maybe_hang` -- a configurable sleep, exercising the
+    per-job timeout;
+  - :func:`maybe_io_error` -- a transient :class:`InjectedIOError`
+    (an ``OSError``) on store I/O, exercising the retry path;
+  - :func:`maybe_corrupt_file` -- byte-level envelope corruption of a
+    just-written store file, exercising write verification and the
+    quarantine/fsck path.
+
+Faults are *attempt-scoped*: a plan with ``crash_attempts=1`` crashes a
+job's first attempt and lets the retry through, which is what makes the
+"recovery must be bit-identical to a clean run" invariant testable.
+The current attempt number is process-local state installed by the
+worker entry point (:func:`job_context`); code that never enters a job
+context runs at attempt 0.
+
+Activation is explicit (:func:`activate` / :func:`use_plan`) and
+travels across process boundaries inside the session spec (see
+:meth:`repro.session.Session.spec`), so pool workers rehearse the same
+plan the parent does.  For ad-hoc rehearsal, ``REPRO_FAULTS`` may hold
+the plan as JSON (see :func:`plan_from_env`); the CLI picks it up.
+
+This module imports nothing from the rest of :mod:`repro`, so any layer
+(store, session, runner) may call into it without cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, fields
+from typing import Iterator
+
+__all__ = [
+    "ENV_VAR",
+    "FaultPlan",
+    "InjectedIOError",
+    "activate",
+    "active_plan",
+    "deactivate",
+    "use_plan",
+    "plan_from_env",
+    "job_context",
+    "current_attempt",
+    "maybe_crash",
+    "maybe_hang",
+    "maybe_io_error",
+    "maybe_corrupt_file",
+]
+
+#: Environment variable holding a JSON-encoded :class:`FaultPlan` for
+#: local/CI rehearsal (``repro run`` activates it automatically).
+ENV_VAR = "REPRO_FAULTS"
+
+#: Exit status injected worker crashes die with (visible in worker
+#: post-mortems; any non-zero status breaks the pool the same way).
+CRASH_EXIT_STATUS = 17
+
+
+class InjectedIOError(OSError):
+    """A deterministic, injected transient store-I/O failure."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, picklable schedule of injected faults.
+
+    Rates are probabilities in ``[0, 1]`` evaluated independently per
+    ``(site, token, attempt)``; ``*_attempts`` bounds which attempts of
+    a job are eligible (the default ``1`` means "first attempt only",
+    so every injected fault is recoverable by a single retry).
+    """
+
+    seed: int = 0
+    #: Hard worker death (``os._exit``) at job start -> BrokenProcessPool.
+    crash_rate: float = 0.0
+    crash_attempts: int = 1
+    #: Worker sleeps ``hang_seconds`` at job start -> job timeout.
+    hang_rate: float = 0.0
+    hang_attempts: int = 1
+    hang_seconds: float = 30.0
+    #: Transient OSError on store I/O (load degrades to a miss; save
+    #: propagates and is retried by the runner).
+    io_error_rate: float = 0.0
+    io_error_attempts: int = 1
+    #: Byte-level corruption of a just-written store envelope (caught
+    #: by write verification; at-rest corruption is quarantined).
+    corrupt_rate: float = 0.0
+    corrupt_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        for name in (
+            "crash_rate", "hang_rate", "io_error_rate", "corrupt_rate"
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate!r}")
+        if self.hang_seconds < 0:
+            raise ValueError("hang_seconds must be >= 0")
+
+    # ------------------------------------------------------------------
+    def fraction(self, site: str, token: str, attempt: int) -> float:
+        """The deterministic uniform draw for one decision point."""
+        digest = hashlib.sha256(
+            f"{self.seed}:{site}:{token}:{attempt}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0**64
+
+    def fires(
+        self, site: str, token: str, attempt: int,
+        rate: float, eligible_attempts: int,
+    ) -> bool:
+        if rate <= 0.0 or attempt >= eligible_attempts:
+            return False
+        return self.fraction(site, token, attempt) < rate
+
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """A JSON-able dict :meth:`from_payload` round-trips exactly."""
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FaultPlan":
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown FaultPlan fields: {sorted(unknown)} "
+                f"(known: {sorted(known)})"
+            )
+        return cls(**payload)
+
+
+# ----------------------------------------------------------------------
+# Activation (process-global; travels via the session spec)
+# ----------------------------------------------------------------------
+_active: "FaultPlan | None" = None
+_attempt: int = 0
+
+
+def activate(plan: FaultPlan) -> FaultPlan:
+    """Install ``plan`` as this process's active fault plan."""
+    global _active
+    if not isinstance(plan, FaultPlan):
+        raise TypeError(f"expected a FaultPlan, got {type(plan).__name__}")
+    _active = plan
+    return plan
+
+
+def deactivate() -> None:
+    """Remove the active plan (and reset the attempt context)."""
+    global _active, _attempt
+    _active = None
+    _attempt = 0
+
+
+def active_plan() -> "FaultPlan | None":
+    return _active
+
+
+@contextmanager
+def use_plan(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Activate ``plan`` for a block, restoring the previous plan after."""
+    global _active
+    previous = _active
+    activate(plan)
+    try:
+        yield plan
+    finally:
+        _active = previous
+
+
+def plan_from_env(text: "str | None" = None) -> "FaultPlan | None":
+    """Parse a plan from ``text`` or the ``REPRO_FAULTS`` variable.
+
+    Returns None when the variable is unset/empty; raises ``ValueError``
+    on malformed JSON or unknown fields (a typo'd rehearsal knob must
+    fail loudly, not silently rehearse nothing).
+    """
+    raw = text if text is not None else os.environ.get(ENV_VAR, "")
+    if not raw.strip():
+        return None
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{ENV_VAR} is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ValueError(f"{ENV_VAR} must hold a JSON object")
+    return FaultPlan.from_payload(payload)
+
+
+# ----------------------------------------------------------------------
+# Attempt context (set by the worker entry / the runner's retry loop)
+# ----------------------------------------------------------------------
+@contextmanager
+def job_context(attempt: int) -> Iterator[None]:
+    """Scope the current job attempt number for injection decisions."""
+    global _attempt
+    previous = _attempt
+    _attempt = int(attempt)
+    try:
+        yield
+    finally:
+        _attempt = previous
+
+
+def current_attempt() -> int:
+    return _attempt
+
+
+# ----------------------------------------------------------------------
+# Injection sites
+# ----------------------------------------------------------------------
+def maybe_crash(token: str, attempt: "int | None" = None) -> None:
+    """Hard-kill this process if the plan says so.
+
+    Only ever called from the pool-worker entry point
+    (:func:`repro.runner.engine.execute_job`): the parent process and
+    the serial fallback never reach this site, so an injected crash can
+    break a pool but never a campaign.
+    """
+    plan = _active
+    if plan is None:
+        return
+    attempt = _attempt if attempt is None else attempt
+    if plan.fires(
+        "crash", token, attempt, plan.crash_rate, plan.crash_attempts
+    ):
+        os._exit(CRASH_EXIT_STATUS)
+
+
+def maybe_hang(token: str, attempt: "int | None" = None) -> None:
+    """Sleep ``hang_seconds`` if the plan says so (worker-only site)."""
+    plan = _active
+    if plan is None:
+        return
+    attempt = _attempt if attempt is None else attempt
+    if plan.fires(
+        "hang", token, attempt, plan.hang_rate, plan.hang_attempts
+    ):
+        time.sleep(plan.hang_seconds)
+
+
+def maybe_io_error(site: str, token: str) -> None:
+    """Raise a transient :class:`InjectedIOError` if the plan says so."""
+    plan = _active
+    if plan is None:
+        return
+    if plan.fires(
+        site, token, _attempt, plan.io_error_rate, plan.io_error_attempts
+    ):
+        raise InjectedIOError(
+            f"injected transient I/O failure at {site} for {token!r} "
+            f"(attempt {_attempt})"
+        )
+
+
+def maybe_corrupt_file(path, token: str) -> bool:
+    """Corrupt the bytes of a just-written file if the plan says so.
+
+    Simulates a torn/bit-rotted write: the file is truncated and junk
+    appended, so it no longer parses as JSON.  Returns True when the
+    file was corrupted (callers verify and repair).
+    """
+    plan = _active
+    if plan is None:
+        return False
+    if not plan.fires(
+        "corrupt", token, _attempt, plan.corrupt_rate,
+        plan.corrupt_attempts,
+    ):
+        return False
+    try:
+        data = path.read_bytes()
+        torn = data[: max(1, (2 * len(data)) // 3)] + b"\x00<torn>"
+        path.write_bytes(torn)
+    except OSError:
+        return False
+    return True

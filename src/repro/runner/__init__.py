@@ -13,24 +13,54 @@ Results persist as JSON under the store (default ``results/store``); a
 second driver, a second process, or tomorrow's run replays them as pure
 cache hits.  The analysis drivers all route through this engine via
 :func:`repro.analysis.common.flow_result`.
+
+The engine is fault-tolerant: per-job timeouts, bounded retries with
+backoff (:class:`RetryPolicy`), broken-pool recovery with a serial
+fallback, structured :class:`JobFailure` records (or one aggregate
+:class:`CampaignError` under ``strict``), checksummed store envelopes
+with quarantine + ``fsck``, and a :class:`RunLedger` journaling every
+attempt.  :mod:`repro.faults` injects deterministic failures to rehearse
+all of it.
 """
 
-from .engine import ExperimentRunner, RunnerCounters, execute_job
+from .engine import (
+    CampaignError,
+    ExperimentRunner,
+    JobFailure,
+    LedgerEvent,
+    RetryPolicy,
+    RunLedger,
+    RunnerCounters,
+    execute_job,
+)
 from .jobs import (
     REPORT_VARIANTS,
     compute_cluster,
     compute_flow,
+    compute_job,
     compute_report,
     strip_casts,
 )
-from .store import STORE_VERSION, JobSpec, ResultStore, default_store_dir
+from .store import (
+    STORE_VERSION,
+    JobSpec,
+    ResultStore,
+    default_store_dir,
+    payload_checksum,
+)
 
 __all__ = [
     "ExperimentRunner",
     "RunnerCounters",
+    "RetryPolicy",
+    "JobFailure",
+    "CampaignError",
+    "RunLedger",
+    "LedgerEvent",
     "execute_job",
     "REPORT_VARIANTS",
     "compute_flow",
+    "compute_job",
     "compute_report",
     "compute_cluster",
     "strip_casts",
@@ -38,4 +68,5 @@ __all__ = [
     "ResultStore",
     "STORE_VERSION",
     "default_store_dir",
+    "payload_checksum",
 ]

@@ -40,6 +40,7 @@ from .store import JobSpec
 __all__ = [
     "REPORT_VARIANTS",
     "compute_flow",
+    "compute_job",
     "compute_report",
     "compute_cluster",
     "strip_casts",
@@ -185,3 +186,30 @@ def compute_report(
             f"unknown report variant {job.variant!r} (known: {known})"
         ) from None
     return variant(job, session, get_flow)
+
+
+def compute_job(
+    job: JobSpec,
+    session: Session,
+    get_flow: "FlowLoader | None" = None,
+    cache_dir=None,
+):
+    """Dispatch any :class:`JobSpec` to its computation.
+
+    The single entry point the serial path, the pool workers, and the
+    serial fallback all share, so a job means the same thing no matter
+    where it executes.  Derived kinds (report, cluster) need a
+    ``get_flow`` loader for their parent flow; flows accept an optional
+    ``cache_dir`` override.
+    """
+    if job.kind == "flow":
+        return compute_flow(job, session, cache_dir=cache_dir)
+    if get_flow is None:
+        raise ValueError(
+            f"{job.kind!r} jobs derive from a flow; pass get_flow"
+        )
+    if job.kind == "cluster":
+        return compute_cluster(job, session, get_flow)
+    if job.kind == "report":
+        return compute_report(job, session, get_flow)
+    raise ValueError(f"unknown job kind {job.kind!r}")

@@ -14,29 +14,57 @@ Layout under the store root::
     <root>/v<VERSION>/cluster/conv-tiny-V2-0.1-c4r2-reference.json
 
 Every file is a self-describing envelope ``{"version", "kind", "key",
-"payload"}``; readers reject entries whose version does not match
-:data:`STORE_VERSION`.  Bump the version (or wipe the root) whenever the
-payload schema or the meaning of a result changes.
+"checksum", "payload"}``; readers reject entries whose version does not
+match :data:`STORE_VERSION`.  Bump the version (or wipe the root)
+whenever the payload schema or the meaning of a result changes.
 
 Writes are atomic (temp file + ``os.replace``), so concurrent workers --
-or concurrent ``repro run`` invocations -- can never tear a file.
+or concurrent ``repro run`` invocations -- can never tear a file; every
+write is read back and verified (and rewritten once on mismatch), so a
+corrupted write self-heals before anyone can observe it.  Corruption
+*at rest* -- torn bytes from a non-atomic writer, bit rot, hand-edits --
+is detected on load via the payload checksum and the entry is moved to
+a ``quarantine/`` sibling directory instead of silently shadowing the
+key as a permanent miss; :meth:`ResultStore.fsck` audits and repairs
+the whole store the same way (``repro store fsck`` from the CLI).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import faults
 from repro.tuning.api import DEFAULT_STRATEGY
-from repro.util import write_json_atomic
+from repro.util import clean_stale_temps, write_json_atomic
 
-__all__ = ["STORE_VERSION", "JobSpec", "ResultStore", "default_store_dir"]
+__all__ = [
+    "STORE_VERSION",
+    "JobSpec",
+    "ResultStore",
+    "default_store_dir",
+    "payload_checksum",
+]
 
 #: Bump when the payload schema or result semantics change; old entries
 #: are ignored (and can be wiped with ``ResultStore.wipe()``).
 #: v2: envelope keys and flow payloads carry the tuning-strategy name.
-STORE_VERSION = 2
+#: v3: envelopes carry a payload checksum (corruption detection).
+STORE_VERSION = 3
+
+#: Leftover temp files older than this are swept when a store opens
+#: (a killed writer's residue); younger ones may belong to a live
+#: concurrent writer and are kept.
+STALE_TEMP_TTL_S = 3600.0
+
+
+def payload_checksum(payload: dict) -> str:
+    """Content checksum of a payload (canonical-JSON SHA-256)."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def default_store_dir() -> Path:
@@ -154,6 +182,11 @@ class ResultStore:
         if they came from the default one.
     version:
         Store-format version (tests override to simulate migrations).
+
+    Besides ``hits``/``misses``, the store counts ``corrupt`` (entries
+    quarantined on load: they are *not* cold misses, and conflating the
+    two hides store rot) and ``repaired`` (write verifications that had
+    to rewrite a just-corrupted file).
     """
 
     def __init__(
@@ -162,18 +195,31 @@ class ResultStore:
         backend: str = "reference",
         env: str = "",
         version: int = STORE_VERSION,
+        verify_writes: bool = True,
+        stale_temp_ttl_s: float = STALE_TEMP_TTL_S,
     ) -> None:
         self.root = Path(root) if root is not None else default_store_dir()
         self.backend = backend
         self.env = env
         self.version = version
+        self.verify_writes = verify_writes
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        self.repaired = 0
+        # A writer killed mid-save leaves temp residue behind; sweep it
+        # on open so it cannot accumulate across campaigns.
+        clean_stale_temps(self.version_dir, ttl_s=stale_temp_ttl_s)
 
     # ------------------------------------------------------------------
     @property
     def version_dir(self) -> Path:
         return self.root / f"v{self.version}"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Sibling directory corrupt entries are moved to (never read)."""
+        return self.root / "quarantine" / f"v{self.version}"
 
     def path(self, spec: JobSpec) -> Path:
         tail = (self.backend,) + ((self.env,) if self.env else ())
@@ -208,43 +254,160 @@ class ResultStore:
         return key
 
     # ------------------------------------------------------------------
+    def quarantine(self, path: Path) -> "Path | None":
+        """Move a corrupt entry aside (counted; never silently deleted).
+
+        The entry stops shadowing its key -- the next load is an honest
+        miss and the recomputed result re-populates the file -- while
+        the corrupt bytes stay available for post-mortems under
+        :attr:`quarantine_dir`.  Returns the destination, or None if
+        the file vanished first (a racing quarantine is not an error).
+        """
+        dest_dir = self.quarantine_dir / path.parent.name
+        dest_dir.mkdir(parents=True, exist_ok=True)
+        dest = dest_dir / path.name
+        serial = 0
+        while dest.exists():
+            serial += 1
+            dest = dest_dir / f"{path.name}.{serial}"
+        try:
+            os.replace(path, dest)
+        except OSError:
+            return None
+        self.corrupt += 1
+        return dest
+
     def load(self, spec: JobSpec) -> dict | None:
-        """The stored payload for a job, or None (counts hits/misses)."""
+        """The stored payload for a job, or None.
+
+        Counts hits and misses; a *corrupt* entry (unparsable bytes, a
+        malformed envelope, or a checksum mismatch) is counted as
+        ``corrupt`` -- not a cold miss -- and quarantined, so it can
+        never shadow the key forever.  A wrong-version or aliased-key
+        envelope remains an honest miss and is left in place.
+        """
         path = self.path(spec)
         try:
-            envelope = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+            # Injected transient read failures degrade to a miss: the
+            # caller recomputes, which is always safe.
+            faults.maybe_io_error("store-load", path.stem)
+            raw = path.read_text()
+        except OSError:
             self.misses += 1
             return None
-        payload = (
-            envelope.get("payload")
-            if isinstance(envelope, dict)
-            and envelope.get("version") == self.version
-            and envelope.get("key") == self._key(spec)
-            else None
-        )
-        if payload is None:
-            # Wrong version, a different job behind an aliased file
-            # name, a hand-edited file, or non-dict JSON: treat every
-            # mismatched entry as a miss, never crash a campaign.
+        try:
+            envelope = json.loads(raw)
+        except json.JSONDecodeError:
+            self.quarantine(path)
+            return None
+        if not isinstance(envelope, dict):
+            self.quarantine(path)
+            return None
+        if envelope.get("version") != self.version:
             self.misses += 1
+            return None
+        if envelope.get("key") != self._key(spec):
+            # A different job behind an aliased file name (%g filename
+            # collision) or a hand-edited key: an honest miss.
+            self.misses += 1
+            return None
+        payload = envelope.get("payload")
+        if (
+            payload is None
+            or envelope.get("checksum") != payload_checksum(payload)
+        ):
+            self.quarantine(path)
             return None
         self.hits += 1
         return payload
 
+    def _envelope(self, spec: JobSpec, payload: dict) -> dict:
+        return {
+            "version": self.version,
+            "kind": spec.kind,
+            "key": self._key(spec),
+            "checksum": payload_checksum(payload),
+            "payload": payload,
+        }
+
+    def _verify(self, path: Path, envelope: dict) -> bool:
+        """Does the file on disk hold exactly this envelope?"""
+        try:
+            return json.loads(path.read_text()) == envelope
+        except (OSError, json.JSONDecodeError):
+            return False
+
     def save(self, spec: JobSpec, payload: dict) -> Path:
-        """Persist a payload atomically; returns the file written."""
+        """Persist a payload atomically and verified; returns the file.
+
+        The write is read back and compared; a mismatch (torn by a
+        hostile filesystem, or injected via a :class:`~repro.faults.
+        FaultPlan`) is rewritten once -- the self-healing path -- and a
+        second mismatch raises ``OSError``, which the runner treats as
+        transient and retries.
+        """
         path = self.path(spec)
-        write_json_atomic(
-            path,
-            {
-                "version": self.version,
-                "kind": spec.kind,
-                "key": self._key(spec),
-                "payload": payload,
-            },
-        )
+        envelope = self._envelope(spec, payload)
+        # Injected transient write failures propagate: save-side faults
+        # must be loud so the runner's retry machinery owns them.
+        faults.maybe_io_error("store-save", path.stem)
+        write_json_atomic(path, envelope)
+        faults.maybe_corrupt_file(path, path.stem)
+        if self.verify_writes and not self._verify(path, envelope):
+            self.repaired += 1
+            write_json_atomic(path, envelope)
+            if not self._verify(path, envelope):
+                raise OSError(
+                    f"store write verification failed twice for {path}"
+                )
         return path
+
+    def fsck(self, repair: bool = True) -> dict:
+        """Audit (and with ``repair=True`` fix) every entry of this
+        version: quarantine corrupt/malformed envelopes and sweep *all*
+        leftover temp files.  Returns a summary dict.
+        """
+        report = {
+            "scanned": 0,
+            "ok": 0,
+            "quarantined": [],
+            "tmp_removed": 0,
+            "repaired": repair,
+        }
+        if not self.version_dir.exists():
+            return report
+        if repair:
+            report["tmp_removed"] = clean_stale_temps(
+                self.version_dir, ttl_s=0.0
+            )
+        else:
+            report["tmp_removed"] = sum(
+                1 for _ in self.version_dir.rglob("*.tmp")
+            )
+        for path in self.entries():
+            report["scanned"] += 1
+            bad = False
+            try:
+                envelope = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                bad = True
+                envelope = None
+            if not bad:
+                bad = (
+                    not isinstance(envelope, dict)
+                    or envelope.get("version") != self.version
+                    or not isinstance(envelope.get("key"), dict)
+                    or envelope.get("payload") is None
+                    or envelope.get("checksum")
+                    != payload_checksum(envelope["payload"])
+                )
+            if bad:
+                report["quarantined"].append(str(path))
+                if repair:
+                    self.quarantine(path)
+            else:
+                report["ok"] += 1
+        return report
 
     def contains(self, spec: JobSpec) -> bool:
         """Existence check that does not touch the hit/miss counters."""

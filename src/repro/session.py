@@ -46,6 +46,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator, Sequence
 
+from . import faults
 from .core.backend import Backend, resolve_backend
 from .core.context import (
     ExecutionContext,
@@ -258,6 +259,7 @@ class Session:
                 "backend class under its own name before sending this "
                 "session across a process boundary"
             )
+        plan = faults.active_plan()
         return {
             "backend": self.backend.name,
             "cache_dir": str(self._cache_dir),
@@ -273,6 +275,9 @@ class Session:
                 if self.formats != STANDARD_FORMATS
                 else None
             ),
+            # The active fault plan rides along so pool workers rehearse
+            # exactly the faults the parent process would (None = none).
+            "faults": plan.to_payload() if plan is not None else None,
         }
 
     def environment_fingerprint(self) -> str:
@@ -306,7 +311,14 @@ class Session:
 
     @classmethod
     def from_spec(cls, spec: dict) -> "Session":
-        """Rebuild a worker-side session from :meth:`spec`'s output."""
+        """Rebuild a worker-side session from :meth:`spec`'s output.
+
+        Also activates the spec's fault plan (if any) in *this* process,
+        so a pool worker bootstrapped from a rehearsing parent rehearses
+        the same deterministic plan.
+        """
+        if spec.get("faults") is not None:
+            faults.activate(faults.FaultPlan.from_payload(spec["faults"]))
         platform = None
         if spec.get("platform") is not None:
             from .hardware import VirtualPlatform

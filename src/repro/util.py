@@ -1,7 +1,8 @@
 """Small shared utilities (no repro-internal imports).
 
-Currently: crash/concurrency-safe JSON persistence, shared by the
-tuning cache and the experiment runner's result store.
+Currently: crash/concurrency-safe JSON persistence (plus cleanup of
+the temp residue a killed writer leaves behind), shared by the tuning
+cache and the experiment runner's result store.
 """
 
 from __future__ import annotations
@@ -9,9 +10,10 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 
-__all__ = ["write_json_atomic"]
+__all__ = ["write_json_atomic", "clean_stale_temps"]
 
 
 def write_json_atomic(path: Path, payload: dict, indent: int = 2) -> None:
@@ -39,3 +41,31 @@ def write_json_atomic(path: Path, payload: dict, indent: int = 2) -> None:
         except OSError:
             pass
         raise
+
+
+def clean_stale_temps(
+    directory: Path, ttl_s: float = 3600.0, pattern: str = "*.tmp"
+) -> int:
+    """Remove abandoned :func:`write_json_atomic` temp files.
+
+    A writer killed between the temp write and the rename leaves a
+    ``.<name>.<random>.tmp`` file behind; the rename's atomicity means
+    the *target* is never torn, but the residue accumulates.  Files
+    matching ``pattern`` older than ``ttl_s`` seconds are deleted
+    (recursively); younger ones are presumed to belong to a live
+    concurrent writer and are left alone.  Returns the removal count;
+    never raises (a racing writer may legitimately win the unlink).
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return 0
+    removed = 0
+    cutoff = time.time() - ttl_s
+    for tmp in directory.rglob(pattern):
+        try:
+            if tmp.stat().st_mtime <= cutoff:
+                tmp.unlink()
+                removed += 1
+        except OSError:
+            continue
+    return removed

@@ -1,0 +1,134 @@
+"""Crash consistency of the atomic JSON writer and the result store.
+
+A writer killed at any point between the temp-file write and the final
+rename must never leave a torn envelope where a reader can see it --
+only the old file, the new file, or residue the next store open sweeps.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.runner import JobSpec, ResultStore
+from repro.util import clean_stale_temps, write_json_atomic
+
+
+def flow_spec():
+    return JobSpec("flow", "conv", "tiny", "V2", 1e-1)
+
+
+class TestKillBeforeRename:
+    def test_old_payload_survives_a_failed_replace(
+        self, tmp_path, monkeypatch
+    ):
+        store = ResultStore(tmp_path)
+        path = store.save(flow_spec(), {"x": "old"})
+        before = path.read_bytes()
+
+        # Kill the writer at the worst moment: the temp file is fully
+        # written, the rename never happens.
+        def killed(src, dst, *a, **k):
+            raise OSError("simulated kill before rename")
+
+        monkeypatch.setattr("repro.util.os.replace", killed)
+        with pytest.raises(OSError):
+            store.save(flow_spec(), {"x": "new"})
+        monkeypatch.undo()
+
+        # The target is byte-identical to the pre-crash envelope -- a
+        # reader can never observe a torn or half-new file.
+        assert path.read_bytes() == before
+        assert store.load(flow_spec()) == {"x": "old"}
+
+    def test_no_torn_target_even_without_an_old_file(
+        self, tmp_path, monkeypatch
+    ):
+        store = ResultStore(tmp_path)
+
+        def killed(src, dst, *a, **k):
+            raise OSError("simulated kill before rename")
+
+        monkeypatch.setattr("repro.util.os.replace", killed)
+        with pytest.raises(OSError):
+            store.save(flow_spec(), {"x": 1})
+        monkeypatch.undo()
+
+        # Old state was "no file": that is exactly what remains.
+        assert not store.path(flow_spec()).exists()
+        assert store.load(flow_spec()) is None
+
+
+class TestTempResidue:
+    def _plant_residue(self, directory, name, age_s):
+        directory.mkdir(parents=True, exist_ok=True)
+        residue = directory / name
+        residue.write_text("half a write")
+        old = time.time() - age_s
+        os.utime(residue, (old, old))
+        return residue
+
+    def test_stale_temps_swept_on_store_open(self, tmp_path):
+        first = ResultStore(tmp_path)
+        first.save(flow_spec(), {"x": 1})
+        stale = self._plant_residue(
+            first.version_dir / "flow", ".a.json.123.tmp", age_s=7200
+        )
+        fresh = self._plant_residue(
+            first.version_dir / "flow", ".b.json.456.tmp", age_s=0
+        )
+
+        ResultStore(tmp_path)  # a new open sweeps the stale residue
+        assert not stale.exists()
+        # A young temp file may belong to a live concurrent writer.
+        assert fresh.exists()
+
+    def test_clean_stale_temps_counts_and_never_raises(self, tmp_path):
+        missing = tmp_path / "nope"
+        assert clean_stale_temps(missing) == 0
+        planted = self._plant_residue(tmp_path, ".x.json.1.tmp", 7200)
+        self._plant_residue(tmp_path, ".y.json.2.tmp", 0)
+        assert clean_stale_temps(tmp_path, ttl_s=3600.0) == 1
+        assert not planted.exists()
+
+    def test_residue_never_shadows_the_key(self, tmp_path):
+        # Residue sits next to the real entry under a dotted temp name:
+        # loads go by the exact target path and never see it.
+        store = ResultStore(tmp_path)
+        path = store.save(flow_spec(), {"x": 1})
+        self._plant_residue(path.parent, f".{path.name}.999.tmp", 0)
+        assert store.load(flow_spec()) == {"x": 1}
+
+
+class TestWriteJsonAtomic:
+    def test_replace_really_is_the_commit_point(self, tmp_path, monkeypatch):
+        target = tmp_path / "t.json"
+        seen = {}
+
+        real_replace = os.replace
+
+        def spy(src, dst, *a, **k):
+            # At the moment of the rename the temp file must already
+            # hold the complete, parseable payload.
+            seen["tmp_payload"] = json.loads(open(src).read())
+            return real_replace(src, dst, *a, **k)
+
+        monkeypatch.setattr("repro.util.os.replace", spy)
+        write_json_atomic(target, {"k": [1, 2, 3]})
+        assert seen["tmp_payload"] == {"k": [1, 2, 3]}
+        assert json.loads(target.read_text()) == {"k": [1, 2, 3]}
+
+    def test_temp_residue_cleaned_on_failure(self, tmp_path, monkeypatch):
+        target = tmp_path / "t.json"
+
+        def killed(src, dst, *a, **k):
+            raise OSError("kill")
+
+        monkeypatch.setattr("repro.util.os.replace", killed)
+        with pytest.raises(OSError):
+            write_json_atomic(target, {"x": 1})
+        monkeypatch.undo()
+        # The in-process failure path unlinks its own temp file (a real
+        # SIGKILL leaves it; that is what the store-open sweep is for).
+        assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,175 @@
+"""The deterministic fault-injection plan (repro.faults)."""
+
+import json
+import pickle
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, InjectedIOError
+
+
+class TestDeterminism:
+    def test_fraction_is_pure(self):
+        a = FaultPlan(seed=7)
+        b = FaultPlan(seed=7)
+        for site in ("crash", "hang", "store-load"):
+            for attempt in range(3):
+                assert a.fraction(site, "conv-tiny", attempt) == (
+                    b.fraction(site, "conv-tiny", attempt)
+                )
+
+    def test_fraction_varies_with_every_input(self):
+        plan = FaultPlan(seed=7)
+        base = plan.fraction("crash", "conv-tiny", 0)
+        assert plan.fraction("crash", "conv-tiny", 1) != base
+        assert plan.fraction("crash", "knn-tiny", 0) != base
+        assert plan.fraction("hang", "conv-tiny", 0) != base
+        assert FaultPlan(seed=8).fraction("crash", "conv-tiny", 0) != base
+
+    def test_fraction_in_unit_interval(self):
+        plan = FaultPlan(seed=3)
+        draws = [
+            plan.fraction("s", f"t{i}", a)
+            for i in range(50)
+            for a in range(2)
+        ]
+        assert all(0.0 <= d < 1.0 for d in draws)
+
+
+class TestFires:
+    def test_rate_zero_never_fires(self):
+        plan = FaultPlan(seed=1)
+        assert not any(
+            plan.fires("crash", f"t{i}", 0, 0.0, 1) for i in range(100)
+        )
+
+    def test_rate_one_always_fires_on_eligible_attempts(self):
+        plan = FaultPlan(seed=1)
+        assert all(
+            plan.fires("crash", f"t{i}", 0, 1.0, 1) for i in range(100)
+        )
+
+    def test_attempt_scoping(self):
+        # crash_attempts=1 -> only attempt 0 is eligible: the retry of
+        # an injected fault always goes through.
+        plan = FaultPlan(seed=1)
+        assert plan.fires("crash", "job", 0, 1.0, 1)
+        assert not plan.fires("crash", "job", 1, 1.0, 1)
+        assert plan.fires("crash", "job", 1, 1.0, 2)
+
+
+class TestRoundTrips:
+    def test_payload_round_trip(self):
+        plan = FaultPlan(
+            seed=9, crash_rate=0.25, hang_rate=0.1, hang_seconds=2.5,
+            io_error_rate=0.5, corrupt_rate=1.0, corrupt_attempts=2,
+        )
+        assert FaultPlan.from_payload(plan.to_payload()) == plan
+
+    def test_payload_is_json_able(self):
+        payload = FaultPlan(seed=2, crash_rate=0.5).to_payload()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown FaultPlan fields"):
+            FaultPlan.from_payload({"seed": 1, "crash_rat": 0.5})
+
+    def test_pickles(self):
+        plan = FaultPlan(seed=4, crash_rate=0.3)
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"crash_rate": 1.5},
+            {"hang_rate": -0.1},
+            {"io_error_rate": 2.0},
+            {"corrupt_rate": -1.0},
+            {"hang_seconds": -1.0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(**kwargs)
+
+
+class TestActivation:
+    def test_use_plan_restores_previous(self):
+        outer = FaultPlan(seed=1)
+        inner = FaultPlan(seed=2)
+        faults.activate(outer)
+        try:
+            with faults.use_plan(inner):
+                assert faults.active_plan() is inner
+            assert faults.active_plan() is outer
+        finally:
+            faults.deactivate()
+        assert faults.active_plan() is None
+
+    def test_use_plan_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with faults.use_plan(FaultPlan(seed=1)):
+                raise RuntimeError("boom")
+        assert faults.active_plan() is None
+
+    def test_activate_rejects_non_plans(self):
+        with pytest.raises(TypeError):
+            faults.activate({"seed": 1})
+
+    def test_sites_are_noops_without_a_plan(self, tmp_path):
+        faults.deactivate()
+        faults.maybe_crash("t")
+        faults.maybe_hang("t")
+        faults.maybe_io_error("store-load", "t")
+        target = tmp_path / "f.json"
+        target.write_text("{}")
+        assert not faults.maybe_corrupt_file(target, "t")
+        assert target.read_text() == "{}"
+
+
+class TestPlanFromEnv:
+    def test_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv(faults.ENV_VAR, raising=False)
+        assert faults.plan_from_env() is None
+
+    def test_empty_is_none(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "   ")
+        assert faults.plan_from_env() is None
+
+    def test_parses_env(self, monkeypatch):
+        monkeypatch.setenv(
+            faults.ENV_VAR, '{"seed": 7, "crash_rate": 0.25}'
+        )
+        assert faults.plan_from_env() == FaultPlan(seed=7, crash_rate=0.25)
+
+    def test_explicit_text_wins(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, '{"seed": 1}')
+        assert faults.plan_from_env('{"seed": 2}') == FaultPlan(seed=2)
+
+    def test_bad_json_raises(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            faults.plan_from_env("{nope")
+
+    def test_non_object_raises(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            faults.plan_from_env("[1, 2]")
+
+
+class TestJobContext:
+    def test_scopes_and_restores(self):
+        assert faults.current_attempt() == 0
+        with faults.job_context(2):
+            assert faults.current_attempt() == 2
+            with faults.job_context(5):
+                assert faults.current_attempt() == 5
+            assert faults.current_attempt() == 2
+        assert faults.current_attempt() == 0
+
+    def test_io_error_site_raises_oserror_subtype(self):
+        with faults.use_plan(FaultPlan(seed=1, io_error_rate=1.0)):
+            with pytest.raises(InjectedIOError) as err:
+                faults.maybe_io_error("store-save", "job")
+        assert isinstance(err.value, OSError)

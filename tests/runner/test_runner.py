@@ -1,7 +1,5 @@
 """Tests for the parallel experiment engine (ExperimentRunner)."""
 
-import dataclasses
-
 import pytest
 
 from repro.flow import FlowResult, TransprecisionFlow
@@ -22,6 +20,12 @@ def make_runner(tmp_path, jobs=1, subdir="a"):
         store_dir=root / "store",
         jobs=jobs,
     )
+
+
+def counter_triple(runner):
+    """(memo_hits, store_hits, computed) -- the cache-hit accounting."""
+    c = runner.counters
+    return (c.memo_hits, c.store_hits, c.computed)
 
 
 class TestSessionSpec:
@@ -89,14 +93,14 @@ class TestCacheAccounting:
     def test_cold_then_memo_then_store(self, tmp_path):
         runner = make_runner(tmp_path)
         runner.flow("conv", V2, 1e-1)
-        assert dataclasses.astuple(runner.counters) == (0, 0, 1)
+        assert counter_triple(runner) == (0, 0, 1)
         runner.flow("conv", V2, 1e-1)  # in-memory memo
-        assert dataclasses.astuple(runner.counters) == (1, 0, 1)
+        assert counter_triple(runner) == (1, 0, 1)
 
         # A second runner over the same store: pure store hits.
         second = make_runner(tmp_path)
         second.flow("conv", V2, 1e-1)
-        assert dataclasses.astuple(second.counters) == (0, 1, 0)
+        assert counter_triple(second) == (0, 1, 0)
 
     def test_run_accounts_per_spec(self, tmp_path):
         runner = make_runner(tmp_path)

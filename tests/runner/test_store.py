@@ -108,11 +108,16 @@ class TestStoreRoundTrip:
         assert old.load(flow_spec()) is None
         assert old.misses == 1
 
-    def test_corrupt_file_is_a_miss_not_a_crash(self, tmp_path):
+    def test_corrupt_file_is_quarantined_not_a_crash(self, tmp_path):
         store = ResultStore(tmp_path)
         path = store.save(flow_spec(), {"x": 1})
         path.write_text("{ torn json")
         assert store.load(flow_spec()) is None
+        # Corruption is counted apart from cold misses, and the entry
+        # moves to quarantine instead of shadowing the key forever.
+        assert (store.corrupt, store.misses) == (1, 0)
+        assert not path.exists()
+        assert list(store.quarantine_dir.rglob("*.json"))
 
     def test_envelope_without_payload_is_a_miss(self, tmp_path):
         store = ResultStore(tmp_path)
@@ -121,11 +126,12 @@ class TestStoreRoundTrip:
         assert store.load(flow_spec()) is None
         assert store.misses == 1
 
-    def test_non_dict_json_is_a_miss(self, tmp_path):
+    def test_non_dict_json_is_quarantined(self, tmp_path):
         store = ResultStore(tmp_path)
         path = store.save(flow_spec(), {"x": 1})
         path.write_text(json.dumps([1, 2, 3]))
         assert store.load(flow_spec()) is None
+        assert store.corrupt == 1
 
     def test_aliased_filename_is_a_miss_not_wrong_data(self, tmp_path):
         """%g truncates precision to 6 significant digits in filenames;
