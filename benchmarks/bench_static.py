@@ -1,0 +1,104 @@
+"""Static-pruning payoff: evaluations-to-target, pruned vs unpruned.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_static.py -q
+
+Solves the gated apps (conv, jacobi, dwt) with every search-based
+strategy twice -- once plain, once with the static pruning oracle
+attached -- cross-checks that the tuned precision maps are byte
+identical, and writes the per-cell evaluation/wall-time series to
+``results/bench/static.json`` so the pruning payoff is tracked across
+PRs.
+
+Also gates the static-analysis PR's headline number: with the oracle,
+bisection reaches the same bindings with >= 20% fewer ``evaluate()``
+calls on at least two apps.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.apps import make_app
+from repro.tuning import V2, TuningProblem, resolve_strategy
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results" / "bench"
+
+#: The oracle only ever certifies the gated straight-line apps.
+APPS = ("conv", "jacobi", "dwt")
+STRATEGIES = ("greedy", "bisect", "cast_aware")
+TARGET_DB = 30.0
+SCALE = "tiny"
+
+
+def _solve(app_name, strategy_name, with_oracle):
+    problem = TuningProblem(
+        make_app(app_name, SCALE), V2, TARGET_DB, input_ids=(0,)
+    )
+    if with_oracle:
+        problem = problem.with_oracle()
+    start = time.perf_counter()
+    report = resolve_strategy(strategy_name).solve(problem)
+    seconds = time.perf_counter() - start
+    return problem, report, seconds
+
+
+def test_pruning_payoff_and_identity():
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+
+    cells: dict[str, dict] = {}
+    for strategy in STRATEGIES:
+        per_app: dict[str, dict] = {}
+        for app in APPS:
+            _, plain, plain_s = _solve(app, strategy, with_oracle=False)
+            problem, pruned, pruned_s = _solve(
+                app, strategy, with_oracle=True
+            )
+            # The oracle must never change the answer, only its cost.
+            assert pruned.result.precision == plain.result.precision, (
+                f"{strategy}/{app}: pruned binding differs"
+            )
+            per_app[app] = {
+                "evaluations": plain.evaluations,
+                "evaluations_pruned": pruned.evaluations,
+                "seconds": plain_s,
+                "seconds_pruned": pruned_s,
+                "probes_pruned": problem.oracle.pruned,
+                "shadow_runs": problem.oracle.shadow_runs,
+                "saving": (
+                    1.0 - pruned.evaluations / plain.evaluations
+                    if plain.evaluations
+                    else 0.0
+                ),
+            }
+        cells[strategy] = per_app
+
+    payload = {
+        "scale": SCALE,
+        "target_db": TARGET_DB,
+        "apps": list(APPS),
+        "strategies": cells,
+    }
+    out_path = RESULTS_DIR / "static.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+    for strategy, per_app in cells.items():
+        for app, cell in per_app.items():
+            print(
+                f"  {strategy:10s} {app:7s} "
+                f"{cell['evaluations']:4d} -> "
+                f"{cell['evaluations_pruned']:4d} evaluations "
+                f"({cell['saving']:+.0%}), "
+                f"{cell['probes_pruned']} probes pruned"
+            )
+
+    # The PR's acceptance bar: >= 20% fewer evaluations on >= 2 apps.
+    big_savers = [
+        app
+        for app, cell in cells["bisect"].items()
+        if cell["saving"] >= 0.20
+    ]
+    assert len(big_savers) >= 2, (
+        f"bisect pruning saved >= 20% only on {big_savers}"
+    )

@@ -21,6 +21,7 @@ with identical semantics to make tuning runs fast:
 
 from __future__ import annotations
 
+import math
 from typing import Iterator, Union
 
 import numpy as np
@@ -42,15 +43,22 @@ class FlexFloatArray:
 
     def __init__(self, values, fmt: FPFormat) -> None:
         if isinstance(values, FlexFloatArray):
+            # A conversion constructor is a cast: the payload is already
+            # backend-sanitized, so route through the cast hook (which
+            # for concrete backends is plain re-quantization).
             record_cast(values._fmt, fmt, values.size)
-            payload = values._data
+            data = ops.cast_array(values._data, fmt)
         elif isinstance(values, FlexFloat):
             record_cast(values.fmt, fmt)
-            payload = np.asarray(float(values), dtype=np.float64)
+            data = ops.quantize_array(
+                np.asarray(float(values), dtype=np.float64), fmt
+            )
         else:
-            payload = np.asarray(values, dtype=np.float64)
+            data = ops.quantize_array(
+                np.asarray(values, dtype=np.float64), fmt
+            )
         object.__setattr__(self, "_fmt", fmt)
-        object.__setattr__(self, "_data", ops.quantize_array(payload, fmt))
+        object.__setattr__(self, "_data", data)
 
     @classmethod
     def _wrap(cls, data: np.ndarray, fmt: FPFormat) -> "FlexFloatArray":
@@ -69,33 +77,42 @@ class FlexFloatArray:
 
     @property
     def shape(self) -> tuple[int, ...]:
+        off = ops.payload_offset()
+        if off:
+            return self._data.shape[: self._data.ndim - off]
         return self._data.shape
 
     @property
     def size(self) -> int:
+        off = ops.payload_offset()
+        if off:
+            return int(math.prod(self._data.shape[: self._data.ndim - off]))
         return int(self._data.size)
 
     @property
     def ndim(self) -> int:
-        return self._data.ndim
+        return self._data.ndim - ops.payload_offset()
 
     def __len__(self) -> int:
         return len(self._data)
 
     def to_numpy(self) -> np.ndarray:
         """Explicit conversion to a plain float64 array (copy)."""
-        return self._data.copy()
+        return ops.collapse_array(self._data, self._fmt)
 
     def cast(self, fmt: FPFormat) -> "FlexFloatArray":
         """Explicit elementwise format conversion (counted as casts)."""
         record_cast(self._fmt, fmt, self.size)
-        return FlexFloatArray._wrap(ops.quantize_array(self._data, fmt), fmt)
+        return FlexFloatArray._wrap(ops.cast_array(self._data, fmt), fmt)
 
     # ------------------------------------------------------------------
     # Indexing
     # ------------------------------------------------------------------
     def __getitem__(self, index) -> Union[FlexFloat, "FlexFloatArray"]:
         picked = self._data[index]
+        special = ops.item_payload(picked, self._fmt)
+        if special is not None:
+            return FlexFloat._from_raw(special, self._fmt)
         if np.isscalar(picked) or picked.ndim == 0:
             return FlexFloat(float(picked), self._fmt)
         return FlexFloatArray._wrap(np.ascontiguousarray(picked), self._fmt)
@@ -108,7 +125,11 @@ class FlexFloatArray:
         elif isinstance(value, FlexFloat):
             if value.fmt != self._fmt:
                 raise FormatMismatchError(self._fmt, value.fmt, "setitem")
-            self._data[index] = float(value)
+            payload = value._value
+            if type(payload) is float:
+                self._data[index] = payload
+            else:
+                self._data[index] = np.asarray(payload)
         else:
             self._data[index] = ops.quantize_array(
                 np.asarray(value, dtype=np.float64), self._fmt
@@ -129,7 +150,9 @@ class FlexFloatArray:
         if isinstance(other, FlexFloat):
             if other.fmt != self._fmt:
                 raise FormatMismatchError(self._fmt, other.fmt, op)
-            return float(other)
+            # The backing payload, not float(other): identical for
+            # concrete backends, and abstract payloads survive intact.
+            return other._value
         if isinstance(other, (int, float)):
             return ops.quantize_array(
                 np.asarray(float(other), dtype=np.float64), self._fmt
@@ -144,7 +167,15 @@ class FlexFloatArray:
         rhs = self._coerce(other, op)
         if rhs is NotImplemented:
             return NotImplemented
-        record_op(self._fmt, op, int(np.broadcast(self._data, rhs).size))
+        off = ops.payload_offset()
+        rhs_shape: tuple[int, ...] = ()
+        if isinstance(rhs, np.ndarray):
+            rhs_shape = rhs.shape[: rhs.ndim - off] if off else rhs.shape
+        record_op(
+            self._fmt,
+            op,
+            int(math.prod(np.broadcast_shapes(self.shape, rhs_shape))),
+        )
         a, b = (rhs, self._data) if swap else (self._data, rhs)
         return FlexFloatArray._wrap(
             ops.binary_array(op, a, b, self._fmt), self._fmt
@@ -175,7 +206,9 @@ class FlexFloatArray:
         return self._binary(other, "div", swap=True)
 
     def __neg__(self) -> "FlexFloatArray":
-        return FlexFloatArray._wrap(-self._data, self._fmt)
+        return FlexFloatArray._wrap(
+            ops.neg_array(self._data, self._fmt), self._fmt
+        )
 
     def __abs__(self) -> "FlexFloatArray":
         return FlexFloatArray._wrap(np.abs(self._data), self._fmt)
@@ -193,6 +226,13 @@ class FlexFloatArray:
         axis and returns a :class:`FlexFloatArray`; without, reduces
         everything to one :class:`FlexFloat`.
         """
+        special = ops.sum_reduce(self._data, axis, self._fmt)
+        if special is not None:
+            payload, n_adds = special
+            record_op(self._fmt, "add", n_adds)
+            if axis is None:
+                return FlexFloat._from_raw(payload, self._fmt)
+            return FlexFloatArray._wrap(payload, self._fmt)
         if axis is None:
             work = self._data.reshape(1, -1)
         else:
@@ -222,22 +262,50 @@ class FlexFloatArray:
 
     def min(self) -> FlexFloat:
         record_op(self._fmt, "min", max(self.size - 1, 0))
-        return FlexFloat(float(np.min(self._data)), self._fmt)
+        payload = ops.array_minmax(self._data, self._fmt, "min")
+        if type(payload) is float:
+            return FlexFloat(payload, self._fmt)
+        return FlexFloat._from_raw(payload, self._fmt)
 
     def max(self) -> FlexFloat:
         record_op(self._fmt, "max", max(self.size - 1, 0))
-        return FlexFloat(float(np.max(self._data)), self._fmt)
+        payload = ops.array_minmax(self._data, self._fmt, "max")
+        if type(payload) is float:
+            return FlexFloat(payload, self._fmt)
+        return FlexFloat._from_raw(payload, self._fmt)
 
     # ------------------------------------------------------------------
     # Shape utilities (no arithmetic, no stats)
     # ------------------------------------------------------------------
     def reshape(self, *shape) -> "FlexFloatArray":
-        return FlexFloatArray._wrap(self._data.reshape(*shape), self._fmt)
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        off = ops.payload_offset()
+        if off:
+            # Reshape the logical dims only; trailing payload axes ride
+            # along untouched (numpy resolves -1 against the logical
+            # element count because the payload axes stay explicit).
+            data = self._data
+            tail = data.shape[data.ndim - off:]
+            return FlexFloatArray._wrap(
+                data.reshape(tuple(shape) + tail), self._fmt
+            )
+        return FlexFloatArray._wrap(self._data.reshape(shape), self._fmt)
 
     def copy(self) -> "FlexFloatArray":
         return FlexFloatArray._wrap(self._data.copy(), self._fmt)
 
     def transpose(self) -> "FlexFloatArray":
+        off = ops.payload_offset()
+        if off:
+            data = self._data
+            lead = data.ndim - off
+            axes = tuple(reversed(range(lead))) + tuple(
+                range(lead, data.ndim)
+            )
+            return FlexFloatArray._wrap(
+                np.ascontiguousarray(data.transpose(axes)), self._fmt
+            )
         return FlexFloatArray._wrap(
             np.ascontiguousarray(self._data.T), self._fmt
         )

@@ -99,6 +99,13 @@ class Backend(ABC):
     #: Registry key; subclasses must override.
     name: str = "abstract"
 
+    #: Trailing payload axes beyond the logical array shape (0 for
+    #: concrete float64 payloads; the abstract-interpretation backend
+    #: carries one trailing center/radius pair axis).  FlexFloatArray's
+    #: shape plumbing consults this so logical semantics are preserved
+    #: for any payload layout.
+    payload_trailing_dims: int = 0
+
     # ------------------------------------------------------------------
     # Scalar path
     # ------------------------------------------------------------------
@@ -142,6 +149,52 @@ class Backend(ABC):
 
     def decode_array(self, patterns, fmt: FPFormat) -> np.ndarray:
         return _reference.decode_array(patterns, fmt)
+
+    # ------------------------------------------------------------------
+    # Structural hooks
+    # ------------------------------------------------------------------
+    # FlexFloat/FlexFloatArray route every payload-shape decision through
+    # these, so a backend whose payloads are not plain doubles (the
+    # abstract-interpretation backend in :mod:`repro.static`) can keep
+    # the emulation types entirely unchanged.  The defaults reproduce the
+    # concrete behaviour bit for bit.
+
+    def cast_array(self, values, fmt: FPFormat) -> np.ndarray:
+        """Re-quantize an already-sanitized payload into another format."""
+        return self.quantize_array(values, fmt)
+
+    def item_payload(self, picked, fmt: FPFormat):
+        """Scalar payload for an indexing pick, or ``None`` for the
+        default float/array handling (concrete payloads never override
+        it)."""
+        return None
+
+    def collapse(self, value, fmt: FPFormat) -> float:
+        """Force a non-float scalar payload down to a concrete double."""
+        raise TypeError(
+            f"{type(self).__name__} holds plain doubles; nothing to collapse"
+        )
+
+    def collapse_array(self, data: np.ndarray, fmt: FPFormat) -> np.ndarray:
+        """Payload for ``to_numpy()``: a defensive copy by default."""
+        return data.copy()
+
+    def neg_array(self, data: np.ndarray, fmt: FPFormat) -> np.ndarray:
+        """Elementwise negation of a sanitized payload (sign-bit flip)."""
+        return -data
+
+    def array_minmax(self, data: np.ndarray, fmt: FPFormat, kind: str):
+        """Scalar payload of an elementwise min/max reduction."""
+        return float(np.min(data) if kind == "min" else np.max(data))
+
+    def sum_reduce(self, data: np.ndarray, axis, fmt: FPFormat):
+        """Whole-reduction override for :meth:`FlexFloatArray.sum`.
+
+        Return ``None`` (the default) to use the generic tree-sum path,
+        or a payload already reduced along ``axis`` (``axis=None``
+        meaning a scalar payload).
+        """
+        return None
 
     def tree_sum(self, work: np.ndarray, fmt: FPFormat) -> np.ndarray:
         """Balanced-tree row reduction with per-level sanitization.

@@ -26,8 +26,11 @@ FF = Union[FlexFloat, FlexFloatArray]
 def _unary(x: FF, name: str, scalar_fn) -> FF:
     if isinstance(x, FlexFloatArray):
         record_op(x.fmt, name, x.size)
+        # Pass the raw payload, not to_numpy(): the ufunc produces a
+        # fresh buffer (the input is never written), and non-concrete
+        # backend payloads must reach the backend un-collapsed.
         return FlexFloatArray._wrap(
-            ops.unary_array(name, x.to_numpy(), x.fmt), x.fmt
+            ops.unary_array(name, x._data, x.fmt), x.fmt
         )
     record_op(x.fmt, name)
     try:

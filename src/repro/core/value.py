@@ -84,6 +84,14 @@ class FlexFloat:
         """Build a value from a packed bit pattern."""
         return cls(ops.decode(pattern, fmt), fmt)
 
+    @classmethod
+    def _from_raw(cls, payload, fmt: FPFormat) -> "FlexFloat":
+        """Wrap an already-sanitized backend payload without re-quantizing."""
+        out = object.__new__(cls)
+        object.__setattr__(out, "_fmt", fmt)
+        object.__setattr__(out, "_value", payload)
+        return out
+
     def cast(self, fmt: FPFormat) -> "FlexFloat":
         """Explicitly convert to another format (counted as a cast)."""
         record_cast(self._fmt, fmt)
@@ -93,7 +101,10 @@ class FlexFloat:
         return out
 
     def __float__(self) -> float:
-        return self._value
+        value = self._value
+        if type(value) is float:
+            return value
+        return ops.collapse(value, self._fmt)
 
     def __int__(self) -> int:
         return int(self._value)

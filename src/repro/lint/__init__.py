@@ -1,0 +1,31 @@
+"""Custom AST lint rules for project invariants (``python -m repro.lint``).
+
+The rules guard cross-cutting contracts the test suite cannot check
+globally: payload round-trip symmetry, result-store key coverage,
+atomic result writes, statistics-context encapsulation, and spec
+picklability.  See :mod:`repro.lint.rules` for the catalogue.
+"""
+
+from .engine import Rule, Violation, iter_python_files, lint_paths, run_rules
+from .rules import (
+    AtomicJsonWriteRule,
+    ContextInternalsRule,
+    PayloadSymmetryRule,
+    PicklableSpecRule,
+    SpecKeyCoverageRule,
+    default_rules,
+)
+
+__all__ = [
+    "AtomicJsonWriteRule",
+    "ContextInternalsRule",
+    "PayloadSymmetryRule",
+    "PicklableSpecRule",
+    "Rule",
+    "SpecKeyCoverageRule",
+    "Violation",
+    "default_rules",
+    "iter_python_files",
+    "lint_paths",
+    "run_rules",
+]

@@ -1,0 +1,52 @@
+"""Command-line entry point: ``python -m repro.lint [paths...]``.
+
+Exits non-zero when any project invariant is violated, printing one
+``path:line: [rule] message`` line per finding -- the same contract as
+the ``repro lint`` CLI verb.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .engine import lint_paths
+from .rules import default_rules
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Check project invariants over the given trees.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.name}: {rule.description}")
+        return 0
+
+    violations = lint_paths(args.paths, rules)
+    for violation in violations:
+        print(violation.format())
+    if violations:
+        print(f"{len(violations)} violation(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""The lint engine: AST rules, file collection, and suppression.
+
+A :class:`Rule` inspects one parsed module and reports
+:class:`Violation`\\ s.  The engine walks the requested roots, parses
+each ``.py`` file once, runs every applicable rule, and filters out
+violations the source suppresses with ``# noqa: <rule-name>`` on the
+offending line.
+
+Rules can restrict themselves to a *scope* (a path component such as
+``src`` -- project invariants about production code should not fire on
+test fixtures that intentionally violate them) and can *allowlist* the
+files that legitimately implement the invariant (the one module allowed
+to touch the guarded internals).
+"""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = [
+    "Violation",
+    "Rule",
+    "iter_python_files",
+    "lint_paths",
+    "run_rules",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: where, which rule, and why it matters."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class Rule(ABC):
+    """One project invariant, checkable on a parsed module."""
+
+    #: Unique kebab-case identifier (used by ``# noqa: <name>``).
+    name: str = ""
+    #: One-line statement of the invariant.
+    description: str = ""
+    #: Path components this rule is restricted to (empty = everywhere).
+    scope: tuple[str, ...] = ()
+    #: Posix path suffixes exempt from the rule (the implementing files).
+    allowlist: tuple[str, ...] = ()
+
+    def applies(self, path: Path) -> bool:
+        posix = path.as_posix()
+        if any(posix.endswith(suffix) for suffix in self.allowlist):
+            return False
+        if self.scope and not any(
+            part in self.scope for part in path.parts
+        ):
+            return False
+        return True
+
+    @abstractmethod
+    def check(
+        self, path: Path, tree: ast.Module, source: str
+    ) -> "list[Violation]":
+        """Inspect one module; return every violation found."""
+
+    def violation(self, path: Path, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            rule=self.name,
+            path=str(path),
+            line=getattr(node, "lineno", 0),
+            message=message,
+        )
+
+
+def iter_python_files(roots: Iterable[str | Path]) -> list[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    out: set[Path] = set()
+    for root in roots:
+        p = Path(root)
+        if p.is_file() and p.suffix == ".py":
+            out.add(p)
+        elif p.is_dir():
+            out.update(q for q in p.rglob("*.py") if q.is_file())
+    return sorted(out)
+
+
+def _suppressed(violation: Violation, lines: Sequence[str]) -> bool:
+    if not 1 <= violation.line <= len(lines):
+        return False
+    text = lines[violation.line - 1]
+    marker = text.partition("# noqa:")[2]
+    if not marker:
+        return False
+    names = {part.strip() for part in marker.split(",")}
+    return violation.rule in names
+
+
+def run_rules(
+    paths: Iterable[Path], rules: Sequence[Rule]
+) -> list[Violation]:
+    """Parse each file once and run every applicable rule over it."""
+    findings: list[Violation] = []
+    for path in paths:
+        applicable = [rule for rule in rules if rule.applies(path)]
+        if not applicable:
+            continue
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            findings.append(
+                Violation(
+                    rule="syntax",
+                    path=str(path),
+                    line=exc.lineno or 0,
+                    message=f"unparseable module: {exc.msg}",
+                )
+            )
+            continue
+        lines = source.splitlines()
+        for rule in applicable:
+            for violation in rule.check(path, tree, source):
+                if not _suppressed(violation, lines):
+                    findings.append(violation)
+    findings.sort(key=lambda v: (v.path, v.line, v.rule))
+    return findings
+
+
+def lint_paths(
+    roots: Iterable[str | Path], rules: "Sequence[Rule] | None" = None
+) -> list[Violation]:
+    """Collect files under ``roots`` and run ``rules`` (default: all)."""
+    if rules is None:
+        from .rules import default_rules
+
+        rules = default_rules()
+    return run_rules(iter_python_files(roots), rules)

@@ -1,0 +1,345 @@
+"""Project-invariant lint rules.
+
+Each rule encodes an invariant the test suite relies on but ordinary
+tests cannot enforce globally (they only see the objects they happen to
+construct).  The linter checks the invariant *syntactically* over the
+whole tree instead:
+
+- ``payload-symmetry``: ``to_payload`` / ``from_payload`` pairs write
+  and read the same keys (a missing read silently drops data across the
+  result store; a missing write crashes every reader).
+- ``spec-key-coverage``: every field of a spec dataclass that defines
+  ``key_fields()`` appears in the store key, so two jobs differing in
+  any field can never collide in the result store.
+- ``atomic-json-write``: results reach disk only through
+  ``repro.util.write_json_atomic`` -- a bare ``json.dump`` to a path
+  leaves torn files when a worker dies mid-write.
+- ``context-internals``: the per-context statistics internals
+  (``collectors`` / ``vector_depth``) are touched only by the
+  compat shims in ``core/stats.py`` (and their home,
+  ``core/context.py``); everything else must go through
+  :func:`repro.core.collect`.
+- ``picklable-spec``: ``*Spec`` dataclasses that cross process
+  boundaries carry only primitive-typed fields, so they pickle (and
+  json-encode) without surprises on every worker start method.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from .engine import Rule, Violation
+
+__all__ = [
+    "AtomicJsonWriteRule",
+    "ContextInternalsRule",
+    "PayloadSymmetryRule",
+    "PicklableSpecRule",
+    "SpecKeyCoverageRule",
+    "default_rules",
+]
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+    return False
+
+
+def _method(node: ast.ClassDef, name: str) -> "ast.FunctionDef | None":
+    for item in node.body:
+        if isinstance(item, ast.FunctionDef) and item.name == name:
+            return item
+    return None
+
+
+def _dataclass_fields(node: ast.ClassDef) -> "list[tuple[str, ast.expr]]":
+    """(name, annotation) for each dataclass field, skipping ClassVar."""
+    out = []
+    for item in node.body:
+        if not isinstance(item, ast.AnnAssign):
+            continue
+        if not isinstance(item.target, ast.Name):
+            continue
+        note = ast.unparse(item.annotation)
+        if "ClassVar" in note:
+            continue
+        out.append((item.target.id, item.annotation))
+    return out
+
+
+class PayloadSymmetryRule(Rule):
+    """``to_payload`` writes exactly the keys ``from_payload`` reads."""
+
+    name = "payload-symmetry"
+    description = (
+        "to_payload dict keys and from_payload accesses must match"
+    )
+
+    def check(self, path, tree, source):
+        findings: list[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            writer = _method(node, "to_payload")
+            reader = _method(node, "from_payload")
+            if writer is None or reader is None:
+                continue
+            written = self._written_keys(writer)
+            if written is None:  # non-literal payload (list, asdict, ...)
+                continue
+            read = self._read_keys(reader)
+            if not read:  # cls(**payload) style -- nothing to compare
+                continue
+            for key in sorted(written - read):
+                findings.append(
+                    self.violation(
+                        path,
+                        writer,
+                        f"{node.name}.to_payload writes {key!r} but "
+                        f"from_payload never reads it",
+                    )
+                )
+            for key in sorted(read - written):
+                findings.append(
+                    self.violation(
+                        path,
+                        reader,
+                        f"{node.name}.from_payload reads {key!r} but "
+                        f"to_payload never writes it",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _written_keys(writer: ast.FunctionDef) -> "set[str] | None":
+        """Keys of the returned dict literal, or None if not a literal."""
+        keys: set[str] = set()
+        saw_literal = False
+        for sub in ast.walk(writer):
+            if not isinstance(sub, ast.Return) or sub.value is None:
+                continue
+            if not isinstance(sub.value, ast.Dict):
+                return None
+            saw_literal = True
+            for key in sub.value.keys:
+                if isinstance(key, ast.Constant) and isinstance(
+                    key.value, str
+                ):
+                    keys.add(key.value)
+                else:
+                    return None  # **spread or computed key
+        return keys if saw_literal else None
+
+    @staticmethod
+    def _read_keys(reader: ast.FunctionDef) -> "set[str]":
+        """String keys pulled out of the payload argument."""
+        args = reader.args.args
+        if not args:
+            return set()
+        payload_name = args[-1].arg  # (cls, payload) or (payload,)
+        keys: set[str] = set()
+        for sub in ast.walk(reader):
+            if (
+                isinstance(sub, ast.Subscript)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == payload_name
+                and isinstance(sub.slice, ast.Constant)
+                and isinstance(sub.slice.value, str)
+            ):
+                keys.add(sub.slice.value)
+            elif (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "get"
+                and isinstance(sub.func.value, ast.Name)
+                and sub.func.value.id == payload_name
+                and sub.args
+                and isinstance(sub.args[0], ast.Constant)
+                and isinstance(sub.args[0].value, str)
+            ):
+                keys.add(sub.args[0].value)
+        return keys
+
+
+class SpecKeyCoverageRule(Rule):
+    """Every field of a keyed spec appears in its ``key_fields()``."""
+
+    name = "spec-key-coverage"
+    description = (
+        "all fields of a dataclass defining key_fields() must be part "
+        "of the store key"
+    )
+
+    def check(self, path, tree, source):
+        findings: list[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            keyer = _method(node, "key_fields")
+            if keyer is None or not _is_dataclass(node):
+                continue
+            used = {
+                sub.attr
+                for sub in ast.walk(keyer)
+                if isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "self"
+            }
+            for field_name, _ in _dataclass_fields(node):
+                if field_name not in used:
+                    findings.append(
+                        self.violation(
+                            path,
+                            keyer,
+                            f"{node.name}.{field_name} is not covered "
+                            f"by key_fields(); two jobs differing only "
+                            f"in it would collide in the store",
+                        )
+                    )
+        return findings
+
+
+class AtomicJsonWriteRule(Rule):
+    """No bare ``json.dump`` -- results must use ``write_json_atomic``."""
+
+    name = "atomic-json-write"
+    description = (
+        "use repro.util.write_json_atomic instead of bare json.dump"
+    )
+    scope = ("src",)
+    allowlist = ("repro/util.py",)
+
+    def check(self, path, tree, source):
+        findings = []
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "dump"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "json"
+            ):
+                findings.append(
+                    self.violation(
+                        path,
+                        node,
+                        "bare json.dump leaves torn files on crash; "
+                        "use repro.util.write_json_atomic",
+                    )
+                )
+        return findings
+
+
+class ContextInternalsRule(Rule):
+    """Global-stats internals stay behind the compat shims."""
+
+    name = "context-internals"
+    description = (
+        "access context statistics via repro.core.collect, not "
+        ".collectors/.vector_depth"
+    )
+    scope = ("src",)
+    allowlist = ("repro/core/context.py", "repro/core/stats.py")
+
+    _GUARDED = ("collectors", "vector_depth")
+
+    def check(self, path, tree, source):
+        findings = []
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in self._GUARDED
+            ):
+                findings.append(
+                    self.violation(
+                        path,
+                        node,
+                        f"direct .{node.attr} access bypasses the "
+                        f"collection shims; use repro.core.collect",
+                    )
+                )
+        return findings
+
+
+class PicklableSpecRule(Rule):
+    """``*Spec`` dataclasses carry only primitive-typed fields."""
+
+    name = "picklable-spec"
+    description = (
+        "worker-reachable *Spec dataclasses must have primitive-typed "
+        "fields"
+    )
+    #: Type names that are trivially picklable and json-friendly.
+    _ALLOWED = {
+        "str",
+        "int",
+        "float",
+        "bool",
+        "bytes",
+        "tuple",
+        "Tuple",
+        "Optional",
+        "Ellipsis",
+    }
+
+    def check(self, path, tree, source):
+        findings: list[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith("Spec"):
+                continue
+            if not _is_dataclass(node):
+                continue
+            for field_name, annotation in _dataclass_fields(node):
+                bad = self._offending_names(annotation)
+                if bad:
+                    findings.append(
+                        self.violation(
+                            path,
+                            annotation,
+                            f"{node.name}.{field_name} has "
+                            f"non-primitive type "
+                            f"{ast.unparse(annotation)!r} "
+                            f"(offending: {', '.join(sorted(bad))}); "
+                            f"specs cross process boundaries and must "
+                            f"stay picklable",
+                        )
+                    )
+        return findings
+
+    def _offending_names(self, annotation: ast.expr) -> "set[str]":
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            # String annotation: parse the forward reference.
+            try:
+                annotation = ast.parse(
+                    annotation.value, mode="eval"
+                ).body
+            except SyntaxError:
+                return {annotation.value}
+        bad: set[str] = set()
+        for sub in ast.walk(annotation):
+            if isinstance(sub, ast.Name) and sub.id not in self._ALLOWED:
+                bad.add(sub.id)
+            elif isinstance(sub, ast.Attribute):
+                bad.add(ast.unparse(sub))
+        return bad
+
+
+def default_rules() -> "list[Rule]":
+    """One instance of every project rule."""
+    return [
+        PayloadSymmetryRule(),
+        SpecKeyCoverageRule(),
+        AtomicJsonWriteRule(),
+        ContextInternalsRule(),
+        PicklableSpecRule(),
+    ]

@@ -1,0 +1,48 @@
+"""Static range analysis: abstract interpretation over the ops-dispatch seam.
+
+The PR-1 backend protocol routes every scalar/array operation, cast and
+reduction of the emulation types through one seam
+(:mod:`repro.core.ops`).  This package exploits that seam to run the
+*unmodified* applications on abstract values:
+
+* :mod:`repro.static.domain` -- the centered-interval abstract domain
+  ``[center, radius]`` and :class:`AbstractBackend`, a
+  :class:`repro.core.backend.Backend` whose payloads carry a sound
+  per-element error bound through every operation;
+* :mod:`repro.static.analyze` -- per-variable
+  :class:`StaticRangeReport`\\ s: guaranteed exponent-bit lower bounds,
+  per-format overflow/saturation certificates, division-by-zero-interval
+  and catastrophic-cancellation flags;
+* :mod:`repro.static.soundness` -- the sanitizer-style harness
+  cross-checking static bounds against dynamically observed ranges;
+* :mod:`repro.static.oracle` -- :class:`StaticOracle`, which lets the
+  tuning strategies skip ``evaluate()`` calls whose failure is
+  statically certain (final bindings stay byte-identical, only cheaper).
+"""
+
+from .analyze import (
+    StaticRangeReport,
+    VariableRange,
+    analyze_program,
+    marker_binding,
+    named_binding,
+)
+from .domain import AbstractBackend, AbstractScalar, AnalysisLog
+from .oracle import GATED_PROGRAMS, StaticOracle
+from .soundness import RecordingBackend, check_soundness, observe_ranges
+
+__all__ = [
+    "AbstractBackend",
+    "AbstractScalar",
+    "AnalysisLog",
+    "StaticRangeReport",
+    "VariableRange",
+    "analyze_program",
+    "marker_binding",
+    "named_binding",
+    "RecordingBackend",
+    "check_soundness",
+    "observe_ranges",
+    "StaticOracle",
+    "GATED_PROGRAMS",
+]

@@ -1,0 +1,184 @@
+"""StaticOracle: skip tuning evaluations whose failure is statically certain.
+
+For a candidate binding the oracle runs the program once in *shadow*
+mode (:class:`~repro.static.domain.AbstractBackend` with exact centers
+and per-operation rounding radii) and lower-bounds the output noise
+against the binary64 reference: each output element differs from the
+reference by at least ``max(0, |center - ref| - radius)``.  If that
+guaranteed noise floor already exceeds what the SQNR target tolerates --
+or some output element is certainly non-finite -- a real evaluation
+*must* come back below target, so boolean ``meets-target`` probes can
+return False without running the program.
+
+Only boolean probes are prunable: strategies that compare SQNR *values*
+(greedy bit-granting, refinement) always evaluate for real, which is
+what keeps final bindings byte-identical.
+
+Gating: the shadow invariant ``|v - center| <= radius`` holds for
+programs whose dataflow is input-independent (no data-dependent
+selection or branching feeding back into arithmetic).  Of the paper
+apps that is conv, jacobi and dwt; knn/pca/svm collapse intervals at
+argsort/deflation/selection points, so the oracle declines to certify
+them (``certainly_fails`` is constantly False and tuning runs exactly
+as before).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.context import ExecutionContext, activate_context
+from repro.core.formats import FPFormat
+
+from .domain import AbstractBackend
+
+__all__ = ["GATED_PROGRAMS", "StaticOracle"]
+
+#: Programs with straight-line, input-independent dataflow, where the
+#: shadow interval invariant holds end to end.
+GATED_PROGRAMS = frozenset({"conv", "jacobi", "dwt"})
+
+
+class StaticOracle:
+    """Certain-failure certificates for one program's tuning run.
+
+    Parameters
+    ----------
+    program:
+        The :class:`~repro.tuning.variables.TunableProgram` being tuned.
+    target_db:
+        The SQNR target probes are checked against.
+    gated:
+        Override of :data:`GATED_PROGRAMS` (used by tests with synthetic
+        programs).
+    """
+
+    def __init__(
+        self,
+        program,
+        target_db: float,
+        gated: "frozenset[str] | None" = None,
+    ) -> None:
+        self._program = program
+        self._target = target_db
+        names = GATED_PROGRAMS if gated is None else frozenset(gated)
+        #: Whether this oracle will ever certify anything.
+        self.enabled = program.name in names
+        self._references: dict[int, np.ndarray] = {}
+        self._reports: dict[int, object] = {}
+        self._verdicts: dict[tuple, bool] = {}
+        #: Shadow executions performed (each much cheaper than a real
+        #: evaluation: one pass, no reference SQNR bookkeeping).
+        self.shadow_runs = 0
+        #: Probes answered False without a real evaluation (incremented
+        #: by the search, not here).
+        self.pruned = 0
+
+    @property
+    def target_db(self) -> float:
+        return self._target
+
+    # ------------------------------------------------------------------
+    def _reference(self, input_id: int) -> np.ndarray:
+        if input_id not in self._references:
+            from repro.tuning.variables import baseline_binding
+
+            self._references[input_id] = np.asarray(
+                self._program.run(baseline_binding(self._program), input_id),
+                dtype=np.float64,
+            ).reshape(-1)
+        return self._references[input_id]
+
+    @staticmethod
+    def _binding_key(binding: Mapping[str, FPFormat]) -> tuple:
+        return tuple(
+            sorted(
+                (name, fmt.exp_bits, fmt.man_bits)
+                for name, fmt in binding.items()
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def certainly_fails(
+        self, binding: Mapping[str, FPFormat], input_id: int = 0
+    ) -> bool:
+        """True only when a real evaluation is guaranteed below target."""
+        if not self.enabled:
+            return False
+        key = (self._binding_key(binding), input_id)
+        try:
+            return self._verdicts[key]
+        except KeyError:
+            verdict = self._certificate_verdict(
+                binding, input_id
+            ) or self._shadow_verdict(binding, input_id)
+            self._verdicts[key] = verdict
+            return verdict
+
+    def _certificate_verdict(
+        self, binding: Mapping[str, FPFormat], input_id: int
+    ) -> bool:
+        """Certain-overflow check from the binding-independent range
+        report: a variable whose exact raw inputs overflow its assigned
+        format stores infinities, which a gated (straight-line) program
+        necessarily propagates to its output."""
+        from .analyze import _overflow_exponent, analyze_program
+
+        if input_id not in self._reports:
+            self._reports[input_id] = analyze_program(
+                self._program, input_id
+            )
+        report = self._reports[input_id]
+        for name, fmt in binding.items():
+            var = report.variables.get(name)
+            if var is None:
+                continue
+            if var.input_mag > 0.0 and (
+                _overflow_exponent(var.input_mag) >= fmt.emax + 1
+            ):
+                return True
+        return False
+
+    def _shadow_verdict(
+        self, binding: Mapping[str, FPFormat], input_id: int
+    ) -> bool:
+        ref = self._reference(input_id)
+        shadow = AbstractBackend(mode="shadow")
+        self.shadow_runs += 1
+        # Fresh context: no stats pollution, concrete backend untouched.
+        with activate_context(ExecutionContext(shadow)):
+            out = self._program.run(dict(binding), input_id)
+        pairs = np.asarray(out, dtype=np.float64)
+        if pairs.ndim >= 2 and pairs.shape[-1] == 2:
+            pairs = pairs.reshape(-1, 2)
+        elif pairs.ndim == 1 and pairs.size == 2 * ref.size:
+            # Flattened interleaved [c0, r0, c1, r1, ...] (a program
+            # that reshape(-1)'d its output array).
+            pairs = pairs.reshape(-1, 2)
+        else:
+            return False
+        if pairs.shape[0] != ref.size:
+            return False
+        centers = pairs[:, 0]
+        radii = pairs[:, 1]
+        certain = np.isfinite(radii)
+        # A certainly-nonfinite output element forces SQNR to -inf.
+        if bool(np.any(certain & ~np.isfinite(centers))):
+            return True
+        if not bool(np.all(certain)):
+            return False
+        signal = float(np.sum(ref * ref))
+        if signal <= 0.0 or not math.isfinite(signal):
+            return False
+        with np.errstate(invalid="ignore"):
+            gap = np.maximum(np.abs(centers - ref) - radii, 0.0)
+        floor = float(np.sum(gap * gap))
+        if not math.isfinite(floor):
+            return True
+        limit = signal * 10.0 ** (-self._target / 10.0)
+        # The safety factor absorbs float64 rounding in this very
+        # noise-floor accumulation.
+        return floor > limit * (1.0 + 1e-6)

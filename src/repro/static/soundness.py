@@ -1,0 +1,245 @@
+"""Sanitizer-style cross-check: static bounds must contain dynamic ranges.
+
+:class:`RecordingBackend` wraps a concrete backend and records the value
+hull flowing through every *storage* quantization site (constructor,
+cast, literal coercion, setitem) -- exactly the sites the abstract
+analysis attributes to variables -- keyed by format name.  Running a
+program under a per-variable *named* binding (see
+:func:`repro.static.analyze.named_binding`) therefore yields directly
+comparable per-variable dynamic ranges.
+
+:func:`check_soundness` runs the static analysis once and the dynamic
+observation per standard format, and returns every containment
+violation.  An empty list is the soundness gate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.backend import Backend, resolve_backend
+from repro.core.context import ExecutionContext, activate_context, current_context
+from repro.core.formats import STANDARD_FORMATS, FPFormat
+
+from .analyze import (
+    StaticRangeReport,
+    analyze_program,
+    named_binding,
+)
+
+__all__ = [
+    "ObservedRange",
+    "RecordingBackend",
+    "SoundnessViolation",
+    "observe_ranges",
+    "check_soundness",
+]
+
+
+@dataclass
+class ObservedRange:
+    """Online min/max accumulator for one storage region."""
+
+    lo: float = math.inf
+    hi: float = -math.inf
+    nonfinite: bool = False
+    count: int = 0
+
+    def update(self, values: np.ndarray) -> None:
+        arr = np.atleast_1d(np.asarray(values, dtype=np.float64))
+        if arr.size == 0:
+            return
+        self.count += 1
+        finite = arr[np.isfinite(arr)]
+        if finite.size != arr.size:
+            self.nonfinite = True
+        if finite.size:
+            self.lo = min(self.lo, float(np.min(finite)))
+            self.hi = max(self.hi, float(np.max(finite)))
+
+
+class RecordingBackend(Backend):
+    """A concrete backend wrapper that observes storage-site values.
+
+    Only the explicit quantization doors record; arithmetic delegates
+    straight to the inner backend, so its *internal* quantize calls
+    (fused op rounding) stay invisible -- mirroring exactly which sites
+    the abstract analysis attributes.
+    """
+
+    name = "recording"
+
+    def __init__(self, inner: "Backend | str | None" = None) -> None:
+        self._inner = resolve_backend(inner)
+        self.observed: dict[str, ObservedRange] = {}
+
+    def _note(self, fmt: FPFormat, values) -> None:
+        try:
+            stats = self.observed[fmt.name]
+        except KeyError:
+            stats = self.observed[fmt.name] = ObservedRange()
+        stats.update(values)
+
+    # -- recording doors ----------------------------------------------
+    def quantize(self, x, fmt: FPFormat) -> float:
+        out = self._inner.quantize(x, fmt)
+        self._note(fmt, out)
+        return out
+
+    def quantize_array(self, values, fmt: FPFormat) -> np.ndarray:
+        out = self._inner.quantize_array(values, fmt)
+        self._note(fmt, out)
+        return out
+
+    def cast_array(self, values, fmt: FPFormat) -> np.ndarray:
+        out = self._inner.cast_array(values, fmt)
+        self._note(fmt, out)
+        return out
+
+    # -- transparent delegation ---------------------------------------
+    def binary(self, op, a, b, fmt):
+        return self._inner.binary(op, a, b, fmt)
+
+    def binary_array(self, op, a, b, fmt):
+        return self._inner.binary_array(op, a, b, fmt)
+
+    def unary_array(self, op, values, fmt):
+        return self._inner.unary_array(op, values, fmt)
+
+    def tree_sum(self, work, fmt):
+        return self._inner.tree_sum(work, fmt)
+
+    def encode(self, x, fmt):
+        return self._inner.encode(x, fmt)
+
+    def decode(self, pattern, fmt):
+        return self._inner.decode(pattern, fmt)
+
+    def encode_array(self, values, fmt):
+        return self._inner.encode_array(values, fmt)
+
+    def decode_array(self, patterns, fmt):
+        return self._inner.decode_array(patterns, fmt)
+
+    def item_payload(self, picked, fmt):
+        return self._inner.item_payload(picked, fmt)
+
+    def collapse(self, value, fmt):
+        return self._inner.collapse(value, fmt)
+
+    def collapse_array(self, data, fmt):
+        return self._inner.collapse_array(data, fmt)
+
+    def neg_array(self, data, fmt):
+        return self._inner.neg_array(data, fmt)
+
+    def array_minmax(self, data, fmt, kind):
+        return self._inner.array_minmax(data, fmt, kind)
+
+    def sum_reduce(self, data, axis, fmt):
+        return self._inner.sum_reduce(data, axis, fmt)
+
+
+def observe_ranges(
+    program,
+    fmt: FPFormat,
+    input_id: int = 0,
+    backend: "Backend | str | None" = None,
+) -> dict[str, ObservedRange]:
+    """Dynamically observed per-variable ranges under a uniform binding.
+
+    Runs the program concretely with every variable bound to a named
+    clone of ``fmt`` and returns ``variable -> ObservedRange``.
+    """
+    inner = resolve_backend(
+        backend if backend is not None else current_context().backend
+    )
+    recorder = RecordingBackend(inner)
+    binding = named_binding(
+        program, {spec.name: fmt for spec in program.variables()}
+    )
+    with activate_context(ExecutionContext(recorder)):
+        program.run(binding, input_id)
+    out: dict[str, ObservedRange] = {}
+    for spec in program.variables():
+        marker = binding[spec.name].name
+        out[spec.name] = recorder.observed.get(marker, ObservedRange())
+    return out
+
+
+@dataclass
+class SoundnessViolation:
+    """One place where a static bound failed to contain a dynamic range."""
+
+    program: str
+    input_id: int
+    variable: str
+    fmt: str
+    observed: tuple[float, float]
+    static: tuple[float, float]
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{self.program}[input {self.input_id}] {self.variable} under "
+            f"{self.fmt}: observed {self.observed} outside static "
+            f"{self.static} {self.detail}"
+        )
+
+
+def check_soundness(
+    program,
+    input_id: int = 0,
+    formats: "tuple[FPFormat, ...] | None" = None,
+    report: "StaticRangeReport | None" = None,
+    backend: "Backend | str | None" = None,
+) -> list[SoundnessViolation]:
+    """Static bounds must contain every dynamically observed range."""
+    if report is None:
+        report = analyze_program(program, input_id)
+    violations: list[SoundnessViolation] = []
+    for fmt in formats if formats is not None else STANDARD_FORMATS:
+        observed = observe_ranges(program, fmt, input_id, backend=backend)
+        for name, obs in observed.items():
+            var = report.variables[name]
+            if obs.count == 0:
+                continue
+            if obs.nonfinite:
+                # Saturation under a narrow format: the static report
+                # must have predicted it (flag or infinite hull edge).
+                predicted = (
+                    fmt.name in var.saturating_formats
+                    or var.certificates.get(fmt.name) in (
+                        "may-saturate", "certain-overflow",
+                    )
+                    or not math.isfinite(var.lo)
+                    or not math.isfinite(var.hi)
+                )
+                if not predicted:
+                    violations.append(
+                        SoundnessViolation(
+                            program=program.name,
+                            input_id=input_id,
+                            variable=name,
+                            fmt=fmt.name,
+                            observed=(obs.lo, obs.hi),
+                            static=(var.lo, var.hi),
+                            detail="(unpredicted saturation)",
+                        )
+                    )
+            if obs.count and obs.lo <= obs.hi:
+                if obs.lo < var.lo or obs.hi > var.hi:
+                    violations.append(
+                        SoundnessViolation(
+                            program=program.name,
+                            input_id=input_id,
+                            variable=name,
+                            fmt=fmt.name,
+                            observed=(obs.lo, obs.hi),
+                            static=(var.lo, var.hi),
+                        )
+                    )
+    return violations

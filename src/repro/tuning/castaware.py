@@ -115,7 +115,7 @@ class CastAwareSearch(DistributedSearch):
                     if cost >= best_cost:
                         continue
                     still_valid = all(
-                        self.evaluate(trial, input_id) >= self._target
+                        self._meets(trial, input_id)
                         for input_id in base.achieved_db
                     )
                     if still_valid:

@@ -86,17 +86,23 @@ def fitting_formats(values, precision_bits: int = 1) -> list[FPFormat]:
     """Standard formats that cover the values' range *and* precision.
 
     The returned list is ordered narrowest-first: the head is the
-    cheapest standard format this data could live in.
+    cheapest standard format this data could live in.  binary64 -- the
+    emulation carrier, which by construction fits everything -- is
+    included as the explicit last-resort tail rather than silently
+    dropped, so data no transprecision format covers still reports a
+    home instead of an empty list.
     """
     report = analyze_range(values)
     out = []
     for fmt in STANDARD_FORMATS:
-        if fmt.name == "binary64":
-            continue
         covers_range = (
             fmt.emin <= report.min_exponent
             and report.max_exponent <= fmt.emax
         )
         if covers_range and fmt.precision >= precision_bits:
             out.append(fmt)
+    if not out or out[-1].name != "binary64":
+        # Always present (subnormal-only doubles fail the normal-range
+        # test even for binary64, yet the carrier trivially holds them).
+        out.append(STANDARD_FORMATS[-1])
     return out

@@ -1,0 +1,272 @@
+"""Each lint rule: one seeded violation, suppression, and a clean repo.
+
+Every rule gets a fixture module that violates it in exactly the way
+the rule exists to catch, so a regression in the rule (or a silently
+narrowed matcher) fails here rather than letting real violations slide.
+The final test runs the whole rule set over the actual repository --
+the same gate CI enforces with ``python -m repro.lint src tests``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    AtomicJsonWriteRule,
+    ContextInternalsRule,
+    PayloadSymmetryRule,
+    PicklableSpecRule,
+    SpecKeyCoverageRule,
+    Violation,
+    default_rules,
+    iter_python_files,
+    lint_paths,
+    run_rules,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def lint_source(tmp_path, source, rules=None, subdir="src"):
+    target = tmp_path / subdir
+    target.mkdir(parents=True, exist_ok=True)
+    (target / "mod.py").write_text(source)
+    return lint_paths([target], rules)
+
+
+class TestPayloadSymmetry:
+    def test_asymmetric_pair_flagged_both_ways(self, tmp_path):
+        found = lint_source(
+            tmp_path,
+            "class Thing:\n"
+            "    def to_payload(self):\n"
+            "        return {'kept': 1, 'dropped': 2}\n"
+            "    @classmethod\n"
+            "    def from_payload(cls, payload):\n"
+            "        return cls(payload['kept'], payload['phantom'])\n",
+            rules=[PayloadSymmetryRule()],
+        )
+        messages = [v.message for v in found]
+        assert len(found) == 2
+        assert any("'dropped'" in m and "never reads" in m for m in messages)
+        assert any("'phantom'" in m and "never writes" in m for m in messages)
+
+    def test_get_counts_as_read(self, tmp_path):
+        found = lint_source(
+            tmp_path,
+            "class Thing:\n"
+            "    def to_payload(self):\n"
+            "        return {'a': 1}\n"
+            "    @classmethod\n"
+            "    def from_payload(cls, payload):\n"
+            "        return cls(payload.get('a', 0))\n",
+            rules=[PayloadSymmetryRule()],
+        )
+        assert found == []
+
+    def test_non_literal_writer_skipped(self, tmp_path):
+        found = lint_source(
+            tmp_path,
+            "from dataclasses import asdict\n"
+            "class Thing:\n"
+            "    def to_payload(self):\n"
+            "        return asdict(self)\n"
+            "    @classmethod\n"
+            "    def from_payload(cls, payload):\n"
+            "        return cls(payload['whatever'])\n",
+            rules=[PayloadSymmetryRule()],
+        )
+        assert found == []
+
+
+class TestSpecKeyCoverage:
+    def test_uncovered_field_flagged(self, tmp_path):
+        found = lint_source(
+            tmp_path,
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class JobSpec:\n"
+            "    app: str\n"
+            "    scale: str\n"
+            "    def key_fields(self):\n"
+            "        return (self.app,)\n",
+            rules=[SpecKeyCoverageRule()],
+        )
+        assert len(found) == 1
+        assert "JobSpec.scale" in found[0].message
+
+    def test_full_coverage_clean(self, tmp_path):
+        found = lint_source(
+            tmp_path,
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class JobSpec:\n"
+            "    app: str\n"
+            "    scale: str\n"
+            "    def key_fields(self):\n"
+            "        return (self.app, self.scale)\n",
+            rules=[SpecKeyCoverageRule()],
+        )
+        assert found == []
+
+    def test_non_dataclass_ignored(self, tmp_path):
+        found = lint_source(
+            tmp_path,
+            "class Plain:\n"
+            "    def key_fields(self):\n"
+            "        return ()\n",
+            rules=[SpecKeyCoverageRule()],
+        )
+        assert found == []
+
+
+class TestAtomicJsonWrite:
+    SOURCE = (
+        "import json\n"
+        "def save(payload, path):\n"
+        "    with open(path, 'w') as fh:\n"
+        "        json.dump(payload, fh)\n"
+    )
+
+    def test_bare_dump_flagged_under_src(self, tmp_path):
+        found = lint_source(
+            tmp_path, self.SOURCE, rules=[AtomicJsonWriteRule()]
+        )
+        assert len(found) == 1
+        assert "write_json_atomic" in found[0].message
+
+    def test_tests_tree_out_of_scope(self, tmp_path):
+        found = lint_source(
+            tmp_path,
+            self.SOURCE,
+            rules=[AtomicJsonWriteRule()],
+            subdir="tests",
+        )
+        assert found == []
+
+    def test_implementing_module_allowlisted(self, tmp_path):
+        target = tmp_path / "src" / "repro"
+        target.mkdir(parents=True)
+        (target / "util.py").write_text(self.SOURCE)
+        assert lint_paths([target], [AtomicJsonWriteRule()]) == []
+
+    def test_dumps_is_fine(self, tmp_path):
+        found = lint_source(
+            tmp_path,
+            "import json\n"
+            "def render(payload):\n"
+            "    return json.dumps(payload)\n",
+            rules=[AtomicJsonWriteRule()],
+        )
+        assert found == []
+
+
+class TestContextInternals:
+    def test_direct_access_flagged(self, tmp_path):
+        found = lint_source(
+            tmp_path,
+            "def peek(ctx):\n"
+            "    return ctx.collectors, ctx.vector_depth\n",
+            rules=[ContextInternalsRule()],
+        )
+        assert {v.message.split()[1] for v in found} == {
+            ".collectors",
+            ".vector_depth",
+        }
+
+    def test_shim_modules_allowlisted(self, tmp_path):
+        for name in ("context.py", "stats.py"):
+            target = tmp_path / "src" / "repro" / "core"
+            target.mkdir(parents=True, exist_ok=True)
+            (target / name).write_text(
+                "def inside(ctx):\n    return ctx.collectors\n"
+            )
+        assert lint_paths([tmp_path / "src"], [ContextInternalsRule()]) == []
+
+
+class TestPicklableSpec:
+    def test_non_primitive_field_flagged(self, tmp_path):
+        found = lint_source(
+            tmp_path,
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class BadSpec:\n"
+            "    name: str\n"
+            "    payload: dict\n",
+            rules=[PicklableSpecRule()],
+        )
+        assert len(found) == 1
+        assert "BadSpec.payload" in found[0].message
+
+    def test_string_annotation_resolved(self, tmp_path):
+        found = lint_source(
+            tmp_path,
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class BadSpec:\n"
+            "    data: 'np.ndarray'\n",
+            rules=[PicklableSpecRule()],
+        )
+        assert len(found) == 1
+
+    def test_primitive_spec_clean(self, tmp_path):
+        found = lint_source(
+            tmp_path,
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class GoodSpec:\n"
+            "    name: str\n"
+            "    size: int = 1\n"
+            "    ratio: float = 1.0\n"
+            "    tags: 'tuple[str, ...]' = ()\n",
+            rules=[PicklableSpecRule()],
+        )
+        assert found == []
+
+    def test_non_spec_class_ignored(self, tmp_path):
+        found = lint_source(
+            tmp_path,
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class Holder:\n"
+            "    payload: dict\n",
+            rules=[PicklableSpecRule()],
+        )
+        assert found == []
+
+
+class TestEngine:
+    def test_noqa_suppresses_named_rule(self, tmp_path):
+        found = lint_source(
+            tmp_path,
+            "def peek(ctx):\n"
+            "    return ctx.vector_depth  # noqa: context-internals\n",
+            rules=[ContextInternalsRule()],
+        )
+        assert found == []
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        found = lint_source(tmp_path, "def broken(:\n")
+        assert [v.rule for v in found] == ["syntax"]
+
+    def test_iter_python_files_accepts_files_and_dirs(self, tmp_path):
+        f = tmp_path / "a.py"
+        f.write_text("x = 1\n")
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        (sub / "b.py").write_text("y = 2\n")
+        (sub / "ignored.txt").write_text("nope\n")
+        assert iter_python_files([f, sub]) == [f, sub / "b.py"]
+
+    def test_violation_format(self):
+        v = Violation("some-rule", "src/x.py", 3, "broken invariant")
+        assert v.format() == "src/x.py:3: [some-rule] broken invariant"
+
+    def test_rule_names_unique(self):
+        names = [rule.name for rule in default_rules()]
+        assert len(names) == len(set(names))
+
+
+def test_repository_is_lint_clean():
+    findings = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+    assert findings == [], "\n".join(v.format() for v in findings)

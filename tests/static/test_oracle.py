@@ -1,0 +1,111 @@
+"""StaticOracle: exact shadow runs and certain-failure certificates.
+
+The oracle's entire value rests on two properties:
+
+* **No false positives** -- ``certainly_fails(binding) == True`` implies
+  a real evaluation comes back below target.  A single false positive
+  would change tuning results; byte-identity depends on this.
+* **Exactness of the shadow** -- for the gated (straight-line) apps the
+  shadow centers equal the real emulated trajectory bit for bit, which
+  is what makes the verdict exact rather than merely conservative.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.apps import make_app
+from repro.core import BINARY16, STANDARD_FORMATS
+from repro.core.backend import FastNumpyBackend
+from repro.core.context import ExecutionContext, activate_context
+from repro.static import GATED_PROGRAMS, AbstractBackend, StaticOracle
+from repro.tuning import baseline_binding, sqnr_db, uniform_binding
+from repro.static.analyze import named_binding
+
+TARGET_DB = 30.0
+
+#: Formats a tuned binding can actually use (the carrier is excluded:
+#: binding everything to binary64 is the reference, not a candidate).
+CANDIDATES = tuple(f for f in STANDARD_FORMATS if f.name != "binary64")
+
+
+def real_output(program, binding, input_id=0):
+    with activate_context(ExecutionContext(FastNumpyBackend())):
+        return np.asarray(
+            program.run(dict(binding), input_id), dtype=np.float64
+        ).reshape(-1)
+
+
+def shadow_pairs(program, binding, input_id=0):
+    with activate_context(
+        ExecutionContext(AbstractBackend(mode="shadow"))
+    ):
+        out = np.asarray(
+            program.run(dict(binding), input_id), dtype=np.float64
+        )
+    return out.reshape(-1, 2)
+
+
+class TestShadowExactness:
+    @pytest.mark.parametrize("app", sorted(GATED_PROGRAMS))
+    def test_shadow_centers_match_real_run(self, app):
+        program = make_app(app, "tiny")
+        binding = named_binding(
+            program, uniform_binding(program, BINARY16)
+        )
+        ref = real_output(program, binding)
+        pairs = shadow_pairs(program, binding)
+        assert pairs.shape[0] == ref.size
+        assert np.array_equal(pairs[:, 0], ref, equal_nan=True)
+        assert np.all(pairs[:, 1] == 0.0)
+
+
+class TestOracleVerdicts:
+    def test_disabled_outside_gated_programs(self):
+        program = make_app("knn", "tiny")
+        oracle = StaticOracle(program, TARGET_DB)
+        assert not oracle.enabled
+        binding = uniform_binding(program, CANDIDATES[0])
+        assert oracle.certainly_fails(binding) is False
+        assert oracle.shadow_runs == 0
+
+    @pytest.mark.parametrize("app", sorted(GATED_PROGRAMS))
+    def test_no_false_positives_uniform_bindings(self, app):
+        program = make_app(app, "tiny")
+        oracle = StaticOracle(program, TARGET_DB)
+        assert oracle.enabled
+        ref = real_output(program, baseline_binding(program))
+        for fmt in CANDIDATES:
+            binding = uniform_binding(program, fmt)
+            if oracle.certainly_fails(binding):
+                achieved = sqnr_db(ref, real_output(program, binding))
+                assert achieved < TARGET_DB, (
+                    f"{app}: oracle certified failure under {fmt.name} "
+                    f"but the real run achieved {achieved:.1f} dB"
+                )
+
+    def test_conv_mixed_bindings_no_false_positives_and_some_hits(self):
+        program = make_app("conv", "tiny")
+        oracle = StaticOracle(program, TARGET_DB)
+        names = [spec.name for spec in program.variables()]
+        ref = real_output(program, baseline_binding(program))
+        certified = 0
+        for combo in itertools.product(CANDIDATES, repeat=len(names)):
+            binding = dict(zip(names, combo))
+            if oracle.certainly_fails(binding):
+                certified += 1
+                achieved = sqnr_db(ref, real_output(program, binding))
+                assert achieved < TARGET_DB
+        # conv-tiny under 30 dB has genuinely infeasible corners (the
+        # all-binary8 region); the oracle has to find at least one.
+        assert certified > 0
+
+    def test_verdicts_are_cached(self):
+        program = make_app("conv", "tiny")
+        oracle = StaticOracle(program, TARGET_DB)
+        binding = uniform_binding(program, CANDIDATES[0])
+        first = oracle.certainly_fails(binding)
+        runs = oracle.shadow_runs
+        assert oracle.certainly_fails(binding) is first
+        assert oracle.shadow_runs == runs  # cache hit, no second run

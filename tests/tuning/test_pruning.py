@@ -1,0 +1,117 @@
+"""Static pruning: byte-identical bindings, strictly fewer evaluations.
+
+The oracle contract (see :mod:`repro.static.oracle`) is that attaching
+it to a :class:`TuningProblem` changes *nothing* about the outcome --
+only boolean meets-target probes whose failure is statically certain
+are answered without an evaluation.  These tests pin both halves:
+identical final precision maps on a gated app (conv) and an ungated one
+(knn), and the >= 20% evaluation saving the static-analysis PR claims
+on at least two apps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_app
+from repro.core import FlexFloatArray
+from repro.tuning import (
+    V2,
+    TuningProblem,
+    VarSpec,
+    resolve_strategy,
+)
+
+PRECISION = 1e-1
+STRATEGIES = ("greedy", "bisect", "cast_aware")
+
+
+def solve(app_name, strategy, with_oracle):
+    problem = TuningProblem.for_precision(
+        make_app(app_name, "tiny"), V2, PRECISION
+    )
+    if with_oracle:
+        problem = problem.with_oracle()
+    report = resolve_strategy(strategy).solve(problem)
+    return problem, report
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("app", ("conv", "knn"))
+    def test_pruned_binding_identical(self, app, strategy):
+        _, plain = solve(app, strategy, with_oracle=False)
+        _, pruned = solve(app, strategy, with_oracle=True)
+        assert pruned.result.precision == plain.result.precision
+        assert pruned.result.storage_binding(
+            V2
+        ) == plain.result.storage_binding(V2)
+
+
+class TestEvaluationSavings:
+    #: A 30 dB target on one input: tight enough that narrow-format
+    #: corners certainly fail, which is where pruning pays off.
+    TARGET_DB = 30.0
+
+    def _solve(self, app, with_oracle):
+        problem = TuningProblem(
+            make_app(app, "tiny"), V2, self.TARGET_DB, input_ids=(0,)
+        )
+        if with_oracle:
+            problem = problem.with_oracle()
+        return problem, resolve_strategy("bisect").solve(problem)
+
+    @pytest.mark.parametrize("app", ("conv", "dwt"))
+    def test_bisect_saves_at_least_20_percent(self, app):
+        _, plain = self._solve(app, with_oracle=False)
+        problem, pruned = self._solve(app, with_oracle=True)
+        assert pruned.result.precision == plain.result.precision
+        assert pruned.evaluations <= 0.8 * plain.evaluations, (
+            f"{app}: {plain.evaluations} -> {pruned.evaluations} "
+            f"evaluations is under the 20% pruning bar"
+        )
+        assert problem.oracle.pruned > 0
+
+    def test_ungated_app_prunes_nothing(self):
+        problem, _ = solve("knn", "bisect", with_oracle=True)
+        assert not problem.oracle.enabled
+        assert problem.oracle.pruned == 0
+        assert problem.oracle.shadow_runs == 0
+
+
+class BigScale:
+    """Gated synthetic program with certified-infeasible narrow formats."""
+
+    name = "bigscale"
+    num_inputs = 1
+
+    def variables(self):
+        return [VarSpec("w", 4), VarSpec("y", 4)]
+
+    def run(self, binding, input_id=0):
+        w = FlexFloatArray(
+            np.array([1e30, 2e30, -1e30, 3e30]), binding["w"]
+        )
+        y = (w * 0.5).cast(binding["y"])
+        return y.to_numpy()
+
+
+class TestCertifiedInfeasibleNeverSelected:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_final_binding_avoids_certified_formats(self, strategy):
+        problem = TuningProblem.for_precision(
+            BigScale(), V2, PRECISION
+        ).with_oracle(gated=frozenset({"bigscale"}))
+        assert problem.oracle.enabled
+        report = resolve_strategy(strategy).solve(problem)
+        static = problem.static_report()
+        binding = report.result.storage_binding(V2)
+        for name, fmt in binding.items():
+            assert fmt.name not in static.infeasible_formats(name), (
+                f"{strategy} selected certified-infeasible {fmt.name} "
+                f"for {name}"
+            )
+        # And the pruning changed nothing about the answer.
+        plain = resolve_strategy(strategy).solve(
+            TuningProblem.for_precision(BigScale(), V2, PRECISION)
+        )
+        assert report.result.precision == plain.result.precision

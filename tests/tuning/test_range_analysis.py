@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core import BINARY8, BINARY16, BINARY16ALT, BINARY32, quantize
 from repro.tuning.range_analysis import (
+    _bits_for_span,
     analyze_range,
     exponent_bits_needed,
     fitting_formats,
@@ -77,6 +78,48 @@ class TestAnalyzeRange:
             assert np.isfinite(quantize(float(x), fmt))
 
 
+class TestAnalyzeRangeEdgeCases:
+    """Degenerate inputs and exact binade boundaries."""
+
+    def test_all_zero(self):
+        report = analyze_range(np.zeros(16))
+        assert report.min_exponent == 0
+        assert report.max_exponent == 0
+        assert report.has_zero
+        assert not report.has_negative
+        assert report.exponent_bits == 1
+
+    def test_nan_inf_only(self):
+        report = analyze_range(np.array([np.nan, np.inf, -np.inf]))
+        assert report.exponent_bits == 1
+        assert not report.has_zero
+        assert not report.has_negative
+
+    def test_subnormal_only(self):
+        # Double subnormals live below binade -1022: no standard format's
+        # *normal* range reaches them, so the bit count pegs at 11.
+        tiny = np.array([5e-324, 1e-310])
+        report = analyze_range(tiny)
+        assert report.max_exponent < -1022
+        assert report.exponent_bits == 11
+
+    @pytest.mark.parametrize(
+        "e,bias", [(4, 7), (5, 15), (8, 127)]
+    )
+    def test_exact_normal_boundaries(self, e, bias):
+        # Exactly at the normal-range edges the width still suffices...
+        assert _bits_for_span(1 - bias, bias) == e
+        assert analyze_range(
+            np.array([2.0 ** (1 - bias), 2.0 ** bias])
+        ).exponent_bits == e
+        # ...one binade past either edge forces the next width up.
+        assert _bits_for_span(-bias, bias) > e
+        assert _bits_for_span(1 - bias, bias + 1) > e
+
+    def test_bits_for_span_monotone_fallback(self):
+        assert _bits_for_span(-5000, 5000) == 11
+
+
 class TestFittingFormats:
     def test_small_values_fit_everything(self):
         formats = fitting_formats(np.array([0.5, 1.0, 2.0]))
@@ -98,3 +141,24 @@ class TestFittingFormats:
     def test_ordered_narrowest_first(self):
         formats = fitting_formats(np.array([1.0]))
         assert [f.bits for f in formats] == sorted(f.bits for f in formats)
+
+    def test_binary64_always_last_resort(self):
+        # Regression: binary64 used to be silently excluded, leaving
+        # wide-range data with an empty format list.  It must now close
+        # every list exactly once, in last position.
+        for values in ([1.0], [1e200], [1e-300, 1e300]):
+            formats = fitting_formats(np.array(values))
+            names = [f.name for f in formats]
+            assert names[-1] == "binary64"
+            assert names.count("binary64") == 1
+
+    def test_subnormal_only_returns_binary64(self):
+        # Even binary64's *normal* range misses double subnormals; the
+        # carrier still holds them, so it is the (only) answer rather
+        # than an empty list.
+        formats = fitting_formats(np.array([5e-324]))
+        assert [f.name for f in formats] == ["binary64"]
+
+    def test_high_precision_demand_still_lands_somewhere(self):
+        formats = fitting_formats(np.array([1.0]), precision_bits=30)
+        assert [f.name for f in formats] == ["binary64"]
