@@ -28,6 +28,11 @@ Examples::
     python -m repro run --jobs 4 --job-timeout 600 --retries 3 --strict
     python -m repro store fsck --store-dir results/store
     REPRO_FAULTS='{"seed": 7, "crash_rate": 0.3}' python -m repro run ...
+
+    # Replay engine: columnar (vectorized, default) vs the legacy
+    # per-instruction oracle loops -- results are bit-identical.
+    python -m repro table1 --engine legacy
+    REPRO_ENGINE=legacy python -m repro all
 """
 
 from __future__ import annotations
@@ -54,6 +59,9 @@ from repro.analysis import (
 from repro.apps import make_app
 from repro.core import STANDARD_FORMATS, available_backends
 from repro.hardware import fpu as fpu_model
+from repro.hardware import set_engine
+from repro.hardware.engine import ENGINES
+from repro.hardware.engine import ENV_VAR as ENGINE_ENV_VAR
 from repro.session import Session
 from repro.tuning import (
     V2,
@@ -570,7 +578,20 @@ def main(argv: list[str] | None = None) -> int:
             f"the {faults.ENV_VAR} environment variable when set"
         ),
     )
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=ENGINES,
+        help=(
+            "replay engine: columnar (vectorized, the default) or "
+            "legacy (per-instruction oracle loops); results are "
+            f"bit-identical -- overrides the {ENGINE_ENV_VAR} "
+            "environment variable"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.engine is not None:
+        set_engine(args.engine)
 
     if args.list_strategies:
         if "tune" not in args.experiments:

@@ -29,6 +29,11 @@ A one-core cluster has a private FPU, never contends, and produces a
 
 from __future__ import annotations
 
+from repro.hardware.columnar import (
+    CLASS_NAMES,
+    ProgramColumns,
+    finalize_class_cycles,
+)
 from repro.hardware.cpu import Timing, classify, result_latency
 from repro.hardware.fpu.occupancy import FpuOccupancy
 from repro.hardware.isa import BRANCH_TAKEN_PENALTY, Instr, Kind
@@ -94,6 +99,10 @@ class _Core:
     def next_instr(self) -> Instr:
         return self.instrs[self.pc]
 
+    @property
+    def next_is_fp(self) -> bool:
+        return self.instrs[self.pc].kind == Kind.FP
+
     def own_earliest(self) -> int:
         """Earliest issue cycle under this core's private hazards only."""
         if self._own_earliest is None:
@@ -137,26 +146,162 @@ class _Core:
         self.timing.cycles = max(self.cycle, self.last_writeback)
 
 
+class _ColumnarCore:
+    """Replay state of one core over pre-lowered columns.
+
+    Mirrors :class:`_Core` cycle for cycle, but walks the primitive
+    lists a :class:`~repro.hardware.columnar.ProgramColumns` prepares
+    (pre-gathered latencies, hazard-pruned source tuples -- see
+    :meth:`ProgramColumns.prepared`; the pruning bound holds per core
+    because arbitration losses only grow a core's accumulated delay).
+    The core's *private* FPU shadow reduces to one busy integer: its
+    own issue port can never bind (the issue cursor always advances
+    past it), so only the div/sqrt block needs tracking.  The shared
+    instances keep full :class:`FpuOccupancy` semantics.
+    """
+
+    __slots__ = (
+        "core_id",
+        "columns",
+        "n",
+        "pc",
+        "cycle",
+        "ready",
+        "last_writeback",
+        "timing",
+        "own_busy",
+        "contention_stalls",
+        "_own_earliest",
+        "lat_l",
+        "srcs_eff",
+        "flag_l",
+        "fp_l",
+        "dst_l",
+        "cons_l",
+        "cls_l",
+        "cls_stall",
+    )
+
+    def __init__(
+        self,
+        core_id: int,
+        columns: ProgramColumns,
+        override: dict[str, int] | None,
+    ) -> None:
+        self.core_id = core_id
+        self.columns = columns
+        self.n = columns.n
+        _, self.lat_l, self.srcs_eff, self.flag_l = columns.prepared(
+            override
+        )
+        self.fp_l = (columns.fp_flag > 0).tolist()
+        self.dst_l = columns.dst_list
+        self.cons_l = columns.consumed.tolist()
+        self.cls_l = columns.cls_id.tolist()
+        self.pc = 0
+        self.cycle = 0  # next free issue slot
+        self.ready = [0] * columns.n_regs
+        self.last_writeback = 0
+        self.timing = Timing(instructions=columns.n)
+        self.own_busy = 0  # this core's div/sqrt shadow
+        self.contention_stalls = 0
+        self._own_earliest: int | None = None
+        self.cls_stall = [0] * len(CLASS_NAMES)
+
+    @property
+    def done(self) -> bool:
+        return self.pc >= self.n
+
+    @property
+    def next_is_fp(self) -> bool:
+        return self.fp_l[self.pc]
+
+    def own_earliest(self) -> int:
+        """Earliest issue cycle under this core's private hazards only."""
+        if self._own_earliest is None:
+            pc = self.pc
+            earliest = self.cycle
+            ready = self.ready
+            for src in self.srcs_eff[pc]:
+                when = ready[src]
+                if when > earliest:
+                    earliest = when
+            if self.flag_l[pc] and self.own_busy > earliest:
+                earliest = self.own_busy
+            self._own_earliest = earliest
+        return self._own_earliest
+
+    def issue(self, t: int, shared_fpu: FpuOccupancy | None) -> None:
+        """Issue the next instruction at cycle ``t`` (>= own_earliest)."""
+        pc = self.pc
+        stall = t - self.cycle
+        self.contention_stalls += t - self.own_earliest()
+        latency = self.lat_l[pc]
+        dst = self.dst_l[pc]
+        if dst >= 0:
+            done = t + latency
+            self.ready[dst] = done
+            if done > self.last_writeback:
+                self.last_writeback = done
+        if self.fp_l[pc]:
+            sequential = self.flag_l[pc] == 2
+            shared_fpu.note_issue_flagged(sequential, t, latency)
+            if sequential:
+                self.own_busy = t + latency
+        self.cycle = t + self.cons_l[pc]
+        if stall:
+            self.timing.stall_cycles += stall
+            self.cls_stall[self.cls_l[pc]] += stall
+        self.pc += 1
+        self._own_earliest = None
+
+    def finish(self) -> None:
+        self.timing.cycles = max(self.cycle, self.last_writeback)
+        if self.n:
+            self.timing.cycles_by_class = finalize_class_cycles(
+                self.columns, self.cls_stall
+            )
+
+
 def simulate_cluster_timing(
     streams: list[list[Instr]],
     config: ClusterConfig,
     fp_latency_override: dict[str, int] | None = None,
+    columns: list[ProgramColumns] | None = None,
 ) -> list[CoreResult]:
     """Replay one stream per core against the shared FPU instances.
 
     ``streams`` must hold exactly ``config.n_cores`` entries (empty
     streams are fine: an idle core finishes at cycle 0).  Returns one
     :class:`CoreResult` per core, in core order.
+
+    When ``columns`` is given (one lowered
+    :class:`~repro.hardware.columnar.ProgramColumns` per stream, same
+    order) the cores replay through :class:`_ColumnarCore` instead of
+    the per-``Instr`` :class:`_Core`; the arbitration wave loop and
+    every shared-FPU decision are identical, and so -- bit for bit --
+    are the results.
     """
     if len(streams) != config.n_cores:
         raise ValueError(
             f"{config.n_cores}-core cluster needs {config.n_cores} "
             f"streams, got {len(streams)}"
         )
-    cores = [
-        _Core(i, instrs, fp_latency_override)
-        for i, instrs in enumerate(streams)
-    ]
+    if columns is not None:
+        if len(columns) != len(streams):
+            raise ValueError(
+                f"got {len(columns)} column sets for "
+                f"{len(streams)} streams"
+            )
+        cores: list[_Core | _ColumnarCore] = [
+            _ColumnarCore(i, cols, fp_latency_override)
+            for i, cols in enumerate(columns)
+        ]
+    else:
+        cores = [
+            _Core(i, instrs, fp_latency_override)
+            for i, instrs in enumerate(streams)
+        ]
     fpus = [FpuOccupancy() for _ in range(config.n_fpus)]
     active = [core for core in cores if not core.done]
 
@@ -169,7 +314,7 @@ def simulate_cluster_timing(
         candidates: list[int] = []
         for core in active:
             earliest = core.own_earliest()
-            if core.next_instr.kind == Kind.FP:
+            if core.next_is_fp:
                 earliest = fpus[config.fpu_of(core.core_id)].earliest_issue(
                     earliest
                 )
@@ -181,11 +326,11 @@ def simulate_cluster_timing(
         # FP requesters are granted one per FPU by interleaved
         # round-robin; losers retry next cycle (the winner's port
         # occupancy pushes their candidate past t automatically).
-        requesters: dict[int, list[_Core]] = {}
+        requesters: dict[int, list[_Core | _ColumnarCore]] = {}
         for core, earliest in zip(active, candidates):
             if earliest != t:
                 continue
-            if core.next_instr.kind == Kind.FP:
+            if core.next_is_fp:
                 requesters.setdefault(
                     config.fpu_of(core.core_id), []
                 ).append(core)

@@ -31,8 +31,9 @@ from repro.hardware import (
     EnergyModel,
     Program,
     RunReport,
+    active_engine,
     assemble_report,
-    simulate_timing,
+    simulate_program_timing,
 )
 
 from .config import ClusterConfig
@@ -191,6 +192,11 @@ class ClusterPlatform:
             [program.instrs for program in programs],
             self.config,
             self._fp_latency_override,
+            columns=(
+                [program.columns() for program in programs]
+                if active_engine() == "columnar"
+                else None
+            ),
         )
         reports = [
             assemble_report(program, result.timing, self._energy)
@@ -231,7 +237,7 @@ class ClusterPlatform:
         programs = app.partition(n, binding, input_id, vectorize)
         if serial_cycles is None and n > 1:
             serial = app.build_program(binding, input_id, vectorize)
-            serial_cycles = simulate_timing(
-                serial.instrs, self._fp_latency_override
+            serial_cycles = simulate_program_timing(
+                serial, self._fp_latency_override
             ).cycles
         return self.run(programs, name=app.name, serial_cycles=serial_cycles)

@@ -1,13 +1,34 @@
 """Hardware models: transprecision FPU and PULPino-like virtual platform."""
 
 from . import fpu
+from .columnar import (
+    ProgramColumns,
+    count_memory_columns,
+    energy_split_columns,
+    instruction_mix_columns,
+    lower_instrs,
+    simulate_program_timing,
+    simulate_timing_columns,
+)
 from .cpu import Timing, classify, result_latency, simulate_timing
 from .energy import DEFAULT_ENERGY_MODEL, EnergyBreakdown, EnergyModel
+from .engine import active_engine, set_engine
+from .engine import engine as engine_scope
 from .isa import BRANCH_TAKEN_PENALTY, LOAD_USE_LATENCY, Instr, Kind
 from .memory import MemoryStats, count_memory
-from .platform import RunReport, VirtualPlatform, assemble_report
+from .platform import (
+    RunReport,
+    VirtualPlatform,
+    assemble_report,
+    assemble_report_legacy,
+)
 from .program import ArrayRef, KernelBuilder, Program, Reg
-from .trace import InstructionMix, disassemble, instruction_mix
+from .trace import (
+    InstructionMix,
+    disassemble,
+    instruction_mix,
+    instruction_mix_legacy,
+)
 
 __all__ = [
     "fpu",
@@ -17,9 +38,21 @@ __all__ = [
     "LOAD_USE_LATENCY",
     "Timing",
     "simulate_timing",
+    "simulate_timing_columns",
+    "simulate_program_timing",
     "result_latency",
     "classify",
     "assemble_report",
+    "assemble_report_legacy",
+    "ProgramColumns",
+    "lower_instrs",
+    "count_memory_columns",
+    "energy_split_columns",
+    "instruction_mix_columns",
+    "instruction_mix_legacy",
+    "active_engine",
+    "set_engine",
+    "engine_scope",
     "EnergyModel",
     "EnergyBreakdown",
     "DEFAULT_ENERGY_MODEL",

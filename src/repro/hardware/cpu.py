@@ -65,30 +65,55 @@ class Timing:
         )
 
 
+#: Latency by kind for everything but FP, precomputed once: ALU/LI and
+#: the control kinds resolve in one cycle, loads carry the load-use
+#: latency, casts the conversion-slice latency.
+_KIND_LATENCY = tuple(
+    LOAD_USE_LATENCY
+    if kind == Kind.LOAD
+    else (cast_latency() if kind == Kind.CAST else 1)
+    for kind in Kind
+)
+
+#: FP ops whose latency ignores the format: sequential div/sqrt and the
+#: single-cycle comparators.
+_FP_OP_LATENCY = {
+    "div": sequential_latency("div"),
+    "sqrt": sequential_latency("sqrt"),
+    "cmp": 1,
+}
+
+#: Arithmetic latency per format, filled on first sight.  FPFormat
+#: hashes by value (the name is compare=False), so two equal formats
+#: share an entry -- exactly the formats ``arithmetic_latency`` treats
+#: alike.  Bounded by the number of distinct formats a process touches.
+_ARITH_LATENCY_CACHE: dict = {}
+
+
 def result_latency(
     instr: Instr, fp_latency_override: dict[str, int] | None = None
 ) -> int:
     """Cycles from issue until the destination register is forwardable.
 
     ``fp_latency_override`` maps format names to arithmetic latencies
-    (used by the latency-sensitivity ablation).
+    (used by the latency-sensitivity ablation).  Table-driven: the
+    per-kind and per-op branches are precomputed at import, so the
+    legacy/oracle replay path no longer re-branches (and re-runs the
+    format-support scan) on every instruction.
     """
-    kind = instr.kind
-    if kind in (Kind.ALU, Kind.LI):
-        return 1
-    if kind == Kind.LOAD:
-        return LOAD_USE_LATENCY
-    if kind == Kind.FP:
-        if instr.op in ("div", "sqrt"):
-            return sequential_latency(instr.op)
-        if instr.op == "cmp":
-            return 1
-        if fp_latency_override and instr.fmt.name in fp_latency_override:
-            return fp_latency_override[instr.fmt.name]
-        return arithmetic_latency(instr.fmt)
-    if kind == Kind.CAST:
-        return cast_latency()
-    return 1
+    if instr.kind != Kind.FP:
+        return _KIND_LATENCY[instr.kind]
+    latency = _FP_OP_LATENCY.get(instr.op)
+    if latency is not None:
+        return latency
+    if fp_latency_override and instr.fmt.name in fp_latency_override:
+        return fp_latency_override[instr.fmt.name]
+    fmt = instr.fmt
+    latency = _ARITH_LATENCY_CACHE.get(fmt)
+    if latency is None:
+        latency = arithmetic_latency(fmt)
+        _ARITH_LATENCY_CACHE[fmt] = latency
+    return latency
 
 
 def classify(instr: Instr) -> str:

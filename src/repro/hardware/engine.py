@@ -1,0 +1,78 @@
+"""Replay-engine selection: columnar (default) vs legacy.
+
+Two engines replay dynamic instruction streams:
+
+* ``columnar`` -- the vectorized engine in
+  :mod:`repro.hardware.columnar`: the stream is lowered once into numpy
+  column arrays (cached on the :class:`~repro.hardware.Program`) and the
+  per-instruction analytics run as array kernels, with one fused
+  primitive-int pass for the scoreboard/FPU recurrence;
+* ``legacy`` -- the original per-``Instr`` Python loops
+  (:func:`repro.hardware.cpu.simulate_timing` and friends), kept as the
+  bit-identity oracle.
+
+Both produce bit-identical :class:`Timing` / :class:`EnergyBreakdown` /
+:class:`MemoryStats` / :class:`InstructionMix` objects (gated in
+``tests/hardware/test_columnar*.py``), so the choice never changes any
+result -- only wall time.  The escape hatch exists for debugging and for
+the parity gates themselves:
+
+* environment: ``REPRO_ENGINE=legacy``
+* CLI: ``repro ... --engine legacy``
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+__all__ = ["ENV_VAR", "ENGINES", "active_engine", "set_engine", "engine"]
+
+ENV_VAR = "REPRO_ENGINE"
+
+#: Recognised engine names.
+ENGINES = ("columnar", "legacy")
+
+#: Process-wide override (set by the CLI / tests); None defers to the
+#: environment.  Results are engine-independent by construction, so the
+#: override deliberately does not travel in worker ``SessionSpec``s: a
+#: worker replaying on the default engine produces byte-identical store
+#: payloads.
+_override: str | None = None
+
+
+def _validate(name: str) -> str:
+    name = name.strip().lower()
+    if name not in ENGINES:
+        raise ValueError(
+            f"unknown replay engine {name!r}; expected one of {ENGINES}"
+        )
+    return name
+
+
+def active_engine() -> str:
+    """The engine replays should use right now."""
+    if _override is not None:
+        return _override
+    raw = os.environ.get(ENV_VAR, "")
+    if raw.strip():
+        return _validate(raw)
+    return "columnar"
+
+
+def set_engine(name: str | None) -> None:
+    """Set (or with None, clear) the process-wide engine override."""
+    global _override
+    _override = None if name is None else _validate(name)
+
+
+@contextmanager
+def engine(name: str):
+    """Temporarily force an engine (parity tests and benchmarks)."""
+    global _override
+    previous = _override
+    _override = _validate(name)
+    try:
+        yield
+    finally:
+        _override = previous

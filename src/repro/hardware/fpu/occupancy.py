@@ -59,8 +59,20 @@ class FpuOccupancy:
         Sequential operations block the whole unit for their latency;
         every operation occupies the issue port for its issue cycle.
         """
+        self.note_issue_flagged(op in SEQUENTIAL_OPS, issue, latency)
+
+    def note_issue_flagged(
+        self, sequential: bool, issue: int, latency: int
+    ) -> None:
+        """`note_issue` with the div/sqrt test already decided.
+
+        The columnar engine pre-classifies sequential operations during
+        lowering, so its replay loops skip the per-issue tuple scan and
+        record occupancy through this entry point instead -- same
+        semantics, same state.
+        """
         self.port_busy_until = issue + 1
-        if op in SEQUENTIAL_OPS:
+        if sequential:
             self.busy_until = issue + latency
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

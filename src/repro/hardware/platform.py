@@ -11,13 +11,26 @@ import json
 from collections import Counter
 from dataclasses import dataclass
 
-from .cpu import Timing, simulate_timing
+from .columnar import (
+    count_memory_columns,
+    energy_split_columns,
+    fp_cast_counters_columns,
+    simulate_program_timing,
+    uses_default_energy_rules,
+)
+from .cpu import Timing
 from .energy import DEFAULT_ENERGY_MODEL, EnergyBreakdown, EnergyModel
+from .engine import active_engine
 from .isa import Instr, Kind
 from .memory import MemoryStats, count_memory
 from .program import Program
 
-__all__ = ["RunReport", "VirtualPlatform", "assemble_report"]
+__all__ = [
+    "RunReport",
+    "VirtualPlatform",
+    "assemble_report",
+    "assemble_report_legacy",
+]
 
 
 @dataclass
@@ -128,8 +141,36 @@ def assemble_report(
     Shared by :class:`VirtualPlatform` and the multi-core
     :class:`repro.cluster.ClusterPlatform` (which times the streams
     itself, contention included, but accounts memory, energy and
-    operation counts by exactly the same rules).
+    operation counts by exactly the same rules).  Dispatches on the
+    active replay engine: the columnar kernels by default, the legacy
+    per-instruction loops under ``REPRO_ENGINE=legacy`` -- the reports
+    are bit-identical either way.
     """
+    if active_engine() == "columnar":
+        columns = program.columns()
+        if uses_default_energy_rules(energy_model):
+            energy = energy_split_columns(
+                energy_model, columns, timing.stall_cycles
+            )
+        else:
+            # Behavioural energy-model subclasses keep their own rules.
+            energy = energy_model.split(program.instrs, timing.stall_cycles)
+        fp, casts = fp_cast_counters_columns(columns)
+        return RunReport(
+            program=program.name,
+            timing=timing,
+            memory=count_memory_columns(columns),
+            energy=energy,
+            fp_instrs=fp,
+            cast_instrs=casts,
+        )
+    return assemble_report_legacy(program, timing, energy_model)
+
+
+def assemble_report_legacy(
+    program: Program, timing: Timing, energy_model: EnergyModel
+) -> RunReport:
+    """The per-``Instr`` report assembly, kept as the parity oracle."""
     memory = count_memory(program.instrs)
     energy = energy_model.split(program.instrs, timing.stall_cycles)
 
@@ -219,6 +260,10 @@ class VirtualPlatform:
             return repr((self._energy, self._fp_latency_override))
 
     def run(self, program: Program) -> RunReport:
-        """Replay a built kernel through timing, memory and energy."""
-        timing = simulate_timing(program.instrs, self._fp_latency_override)
+        """Replay a built kernel through timing, memory and energy.
+
+        Uses the active replay engine (columnar by default, legacy
+        under ``REPRO_ENGINE=legacy``); results are bit-identical.
+        """
+        timing = simulate_program_timing(program, self._fp_latency_override)
         return assemble_report(program, timing, self._energy)

@@ -84,9 +84,24 @@ class Program:
         self.name = name
         self.instrs = instrs
         self.arrays = arrays
+        self._columns = None
 
     def __len__(self) -> int:
         return len(self.instrs)
+
+    def columns(self):
+        """The stream lowered to columnar form, cached on first use.
+
+        A built program's stream never changes, so the lowering runs at
+        most once; every columnar analytic (timing, energy, memory,
+        mix, report counters) and every re-replay of the same program
+        (latency ablations, cluster topology sweeps) shares it.
+        """
+        if self._columns is None:
+            from .columnar import lower_instrs
+
+            self._columns = lower_instrs(self.instrs)
+        return self._columns
 
     def output(self, name: str) -> np.ndarray:
         """The final contents of an array (the program's result)."""

@@ -14,7 +14,12 @@ from dataclasses import dataclass, field
 from .isa import Instr, Kind
 from .program import Program
 
-__all__ = ["disassemble", "InstructionMix", "instruction_mix"]
+__all__ = [
+    "disassemble",
+    "InstructionMix",
+    "instruction_mix",
+    "instruction_mix_legacy",
+]
 
 _MEM_MNEMONICS = {Kind.LOAD: "lw", Kind.STORE: "sw"}
 
@@ -93,7 +98,23 @@ class InstructionMix:
 
 
 def instruction_mix(program: Program) -> InstructionMix:
-    """Tally the instruction mix of a built program."""
+    """Tally the instruction mix of a built program.
+
+    Dispatches on the active replay engine: the columnar bincount
+    kernel by default (the mix feeds the Fig. 6 driver's per-class
+    attribution, so it sits on the replay hot path), the per-``Instr``
+    loop under ``REPRO_ENGINE=legacy`` -- equal Counters either way.
+    """
+    from .columnar import instruction_mix_columns
+    from .engine import active_engine
+
+    if active_engine() == "columnar":
+        return instruction_mix_columns(program.columns())
+    return instruction_mix_legacy(program)
+
+
+def instruction_mix_legacy(program: Program) -> InstructionMix:
+    """The per-``Instr`` tally, kept as the parity oracle."""
     mix = InstructionMix(total=len(program.instrs))
     for instr in program.instrs:
         mix.by_kind[instr.kind.name] += 1

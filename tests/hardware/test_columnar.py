@@ -1,0 +1,259 @@
+"""Bit-identity gates for the columnar replay engine.
+
+The columnar engine (``repro.hardware.columnar``) re-implements every
+per-instruction analytic -- timing, energy split, memory statistics,
+instruction mix, report counters -- as array kernels over a lowered
+:class:`ProgramColumns`.  The legacy per-``Instr`` loops stay in the
+tree as the oracle; these tests pin the two engines to *byte-identical*
+results (object equality, payload equality, and even dict key order,
+so a JSON rendering cannot drift) across every application kernel,
+format binding and latency override the experiment drivers use.
+"""
+
+import pytest
+
+from repro.apps import APP_NAMES, make_app
+from repro.core import BINARY8, BINARY16, BINARY16ALT, BINARY32
+from repro.hardware import (
+    DEFAULT_ENERGY_MODEL,
+    EnergyModel,
+    Instr,
+    Kind,
+    Program,
+    VirtualPlatform,
+    active_engine,
+    assemble_report,
+    assemble_report_legacy,
+    count_memory,
+    count_memory_columns,
+    engine_scope,
+    instruction_mix,
+    instruction_mix_columns,
+    instruction_mix_legacy,
+    lower_instrs,
+    set_engine,
+    simulate_program_timing,
+    simulate_timing,
+    simulate_timing_columns,
+)
+from repro.hardware.columnar import (
+    energy_split_columns,
+    fp_cast_counters_columns,
+    uses_default_energy_rules,
+)
+from repro.hardware.engine import ENV_VAR
+
+UNIFORM_FORMATS = (BINARY8, BINARY16, BINARY16ALT, BINARY32)
+OVERRIDES = (
+    None,
+    {"binary32": 7},
+    {"binary8": 1, "binary16": 2, "binary16alt": 2, "binary32": 9},
+)
+
+
+def build_programs(app_name):
+    """Baseline binding plus every uniform binding of one app."""
+    app = make_app(app_name, "tiny")
+    bindings = [app.baseline_binding()]
+    for fmt in UNIFORM_FORMATS:
+        bindings.append(dict.fromkeys(app.baseline_binding(), fmt))
+    return [app.build_program(binding) for binding in bindings]
+
+
+@pytest.fixture(autouse=True)
+def _default_engine():
+    """Tests in this module control the engine explicitly."""
+    set_engine(None)
+    yield
+    set_engine(None)
+
+
+class TestTimingParity:
+    @pytest.mark.parametrize("app_name", APP_NAMES)
+    def test_every_app_every_binding(self, app_name):
+        for program in build_programs(app_name):
+            legacy = simulate_timing(program.instrs)
+            columnar = simulate_timing_columns(program.columns())
+            assert columnar == legacy
+            assert columnar.to_payload() == legacy.to_payload()
+            # Even the class-key insertion order must match, so JSON
+            # renderings of the two timings are byte-identical.
+            assert list(columnar.cycles_by_class) == list(
+                legacy.cycles_by_class
+            )
+
+    @pytest.mark.parametrize("app_name", APP_NAMES)
+    @pytest.mark.parametrize("override", OVERRIDES[1:])
+    def test_latency_override(self, app_name, override):
+        app = make_app(app_name, "tiny")
+        program = app.build_program(app.baseline_binding())
+        assert simulate_timing_columns(
+            program.columns(), override
+        ) == simulate_timing(program.instrs, override)
+
+    def test_empty_stream(self):
+        assert simulate_timing_columns(lower_instrs([])) == simulate_timing(
+            []
+        )
+
+
+class TestReportParity:
+    @pytest.mark.parametrize("app_name", APP_NAMES)
+    def test_full_report_payloads(self, app_name):
+        for program in build_programs(app_name):
+            timing = simulate_timing(program.instrs)
+            with engine_scope("columnar"):
+                columnar = assemble_report(
+                    program, timing, DEFAULT_ENERGY_MODEL
+                )
+            legacy = assemble_report_legacy(
+                program, timing, DEFAULT_ENERGY_MODEL
+            )
+            assert columnar.to_payload() == legacy.to_payload()
+            # Exact float equality, not approx: the columnar energy
+            # split must reproduce the legacy accumulation bit for bit.
+            assert columnar.energy == legacy.energy
+            assert columnar.fp_instrs == legacy.fp_instrs
+            assert columnar.cast_instrs == legacy.cast_instrs
+
+    @pytest.mark.parametrize("app_name", APP_NAMES)
+    def test_memory_stats_and_key_order(self, app_name):
+        for program in build_programs(app_name):
+            legacy = count_memory(program.instrs)
+            columnar = count_memory_columns(program.columns())
+            assert columnar == legacy
+            assert columnar.to_payload() == legacy.to_payload()
+            assert list(columnar.by_element_bits) == list(
+                legacy.by_element_bits
+            )
+
+    @pytest.mark.parametrize("app_name", APP_NAMES)
+    def test_instruction_mix(self, app_name):
+        for program in build_programs(app_name):
+            assert instruction_mix_columns(
+                program.columns()
+            ) == instruction_mix_legacy(program)
+
+    def test_platform_run_matches_legacy_engine(self):
+        app = make_app("conv", "tiny")
+        program = app.build_program(app.baseline_binding())
+        platform = VirtualPlatform(
+            fp_latency_override={"binary16": 2, "binary32": 7}
+        )
+        with engine_scope("columnar"):
+            columnar = platform.run(program)
+        with engine_scope("legacy"):
+            legacy = platform.run(program)
+        assert columnar.to_payload() == legacy.to_payload()
+
+
+class TestEnergyModelSubclasses:
+    def test_default_model_uses_columnar_rules(self):
+        assert uses_default_energy_rules(DEFAULT_ENERGY_MODEL)
+        assert uses_default_energy_rules(EnergyModel(issue_pj=3.0))
+
+    def test_behavioural_subclass_falls_back_to_its_own_split(self):
+        class DoubledFp(EnergyModel):
+            def datapath_energy_pj(self, instr):
+                return 2.0 * super().datapath_energy_pj(instr)
+
+        model = DoubledFp()
+        assert not uses_default_energy_rules(model)
+        app = make_app("dwt", "tiny")
+        program = app.build_program(app.baseline_binding())
+        timing = simulate_timing(program.instrs)
+        with engine_scope("columnar"):
+            columnar = assemble_report(program, timing, model)
+        legacy = assemble_report_legacy(program, timing, model)
+        assert columnar.to_payload() == legacy.to_payload()
+
+    def test_constant_overrides_stay_columnar(self):
+        model = EnergyModel(issue_pj=1.0, stall_pj=0.5, dmem_access_pj=20.0)
+        app = make_app("jacobi", "tiny")
+        program = app.build_program(app.baseline_binding())
+        timing = simulate_timing(program.instrs)
+        columnar = energy_split_columns(
+            model, program.columns(), timing.stall_cycles
+        )
+        assert columnar == model.split(program.instrs, timing.stall_cycles)
+
+
+class TestEngineSelection:
+    def test_columnar_is_the_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert active_engine() == "columnar"
+
+    def test_env_var_switches_to_legacy(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "legacy")
+        assert active_engine() == "legacy"
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "legacy")
+        set_engine("columnar")
+        assert active_engine() == "columnar"
+        set_engine(None)
+        assert active_engine() == "legacy"
+
+    def test_scope_restores_previous(self):
+        set_engine("legacy")
+        with engine_scope("columnar"):
+            assert active_engine() == "columnar"
+        assert active_engine() == "legacy"
+
+    def test_unknown_engine_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            set_engine("turbo")
+        monkeypatch.setenv(ENV_VAR, "turbo")
+        with pytest.raises(ValueError):
+            active_engine()
+
+    def test_instruction_mix_dispatches(self):
+        app = make_app("pca", "tiny")
+        program = app.build_program(app.baseline_binding())
+        with engine_scope("columnar"):
+            columnar = instruction_mix(program)
+        with engine_scope("legacy"):
+            legacy = instruction_mix(program)
+        assert columnar == legacy
+
+    def test_simulate_program_timing_dispatches(self):
+        app = make_app("svm", "tiny")
+        program = app.build_program(app.baseline_binding())
+        with engine_scope("columnar"):
+            columnar = simulate_program_timing(program)
+        with engine_scope("legacy"):
+            legacy = simulate_program_timing(program)
+        assert columnar == legacy
+
+
+class TestLoweringCache:
+    def test_columns_cached_on_program(self):
+        app = make_app("conv", "tiny")
+        program = app.build_program(app.baseline_binding())
+        assert program.columns() is program.columns()
+
+    def test_prepared_memoized_per_override(self):
+        app = make_app("knn", "tiny")
+        columns = app.build_program(app.baseline_binding()).columns()
+        assert columns.prepared(None) is columns.prepared(None)
+        override = {"binary32": 7}
+        assert columns.prepared(override) is columns.prepared(
+            dict(override)
+        )
+        assert columns.prepared(override) is not columns.prepared(None)
+
+    def test_lowering_matches_stream_length(self):
+        instrs = [
+            Instr(Kind.LI, dst=0),
+            Instr(Kind.FP, dst=1, srcs=(0, 0), op="add", fmt=BINARY32),
+            Instr(Kind.STORE, srcs=(1,), fmt=BINARY32, width=4),
+        ]
+        columns = lower_instrs(instrs)
+        assert columns.n == len(instrs)
+        program = Program("synthetic", instrs, {})
+        fp, casts = fp_cast_counters_columns(columns)
+        legacy = assemble_report_legacy(
+            program, simulate_timing(instrs), DEFAULT_ENERGY_MODEL
+        )
+        assert fp == legacy.fp_instrs
+        assert casts == legacy.cast_instrs
