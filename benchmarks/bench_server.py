@@ -1,0 +1,180 @@
+"""Job-server load driver: cold, warm, and duplicate request mixes.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_server.py -q
+
+Boots an in-process :class:`BackgroundServer` (real worker, thread
+executor), then drives it through the three request classes a tuning
+service actually sees -- cold (store miss, pool computes), warm (store
+hit, no pool), and duplicate (N identical in-flight requests deduped to
+one computation) -- plus a closed-loop warm sweep with K concurrent
+clients.  Writes throughput and dedup ratios to
+``results/bench/server.json`` so serving-path performance is tracked
+across PRs.
+
+Gates: a warm hit must be at least 10x faster than the cold compute it
+replays, and N concurrent duplicates must cost exactly one computation.
+"""
+
+import json
+import shutil
+import statistics
+import threading
+import time
+from pathlib import Path
+
+from repro.server import BackgroundServer, ServerClient
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results" / "bench"
+WORK_DIR = RESULTS_DIR / "server-work"
+
+SCALE = "tiny"
+COLD_JOBS = (
+    {"kind": "tune", "app": "conv", "scale": SCALE,
+     "type_system": "V2", "precision": 1e-1},
+    {"kind": "tune", "app": "conv", "scale": SCALE,
+     "type_system": "V2", "precision": 1e-2},
+)
+DUP_JOB = {
+    "kind": "tune", "app": "knn", "scale": SCALE,
+    "type_system": "V2", "precision": 1e-1,
+}
+CLIENTS = 8
+WARM_REQUESTS_PER_CLIENT = 25
+
+
+def timed_post(client: ServerClient, job: dict) -> float:
+    start = time.perf_counter()
+    reply = client.post_job(job)
+    seconds = time.perf_counter() - start
+    assert reply.status == 200, reply.body
+    return seconds
+
+
+def duplicate_burst(background: BackgroundServer, job: dict) -> dict:
+    """Fire CLIENTS identical POSTs at an unwarmed key, all in flight."""
+    sources = []
+    barrier = threading.Barrier(CLIENTS)
+
+    def post():
+        with ServerClient(background.host, background.port) as client:
+            barrier.wait()
+            reply = client.post_job(job)
+            assert reply.status == 200, reply.body
+            sources.append(reply.source)
+
+    threads = [threading.Thread(target=post) for _ in range(CLIENTS)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - start
+    return {"seconds": seconds, "sources": sources}
+
+
+def warm_closed_loop(background: BackgroundServer) -> dict:
+    """K clients hammer warm keys back to back; measure req/s."""
+    latencies = []
+    lock = threading.Lock()
+
+    def loop(offset: int):
+        mine = []
+        with ServerClient(background.host, background.port) as client:
+            for i in range(WARM_REQUESTS_PER_CLIENT):
+                job = COLD_JOBS[(offset + i) % len(COLD_JOBS)]
+                mine.append(timed_post(client, job))
+        with lock:
+            latencies.extend(mine)
+
+    threads = [
+        threading.Thread(target=loop, args=(k,)) for k in range(CLIENTS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    total = CLIENTS * WARM_REQUESTS_PER_CLIENT
+    return {
+        "requests": total,
+        "wall_seconds": wall,
+        "requests_per_second": total / wall,
+        "latency_p50_ms": statistics.median(latencies) * 1e3,
+        "latency_max_ms": max(latencies) * 1e3,
+    }
+
+
+def test_server_cold_warm_duplicate_mix():
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    if WORK_DIR.exists():
+        shutil.rmtree(WORK_DIR)
+
+    with BackgroundServer(
+        store_dir=WORK_DIR / "store",
+        cache_dir=WORK_DIR / "cache",
+        scale=SCALE,
+        executor="thread",
+        jobs=4,
+    ) as background:
+        with ServerClient(background.host, background.port) as client:
+            cold = [timed_post(client, job) for job in COLD_JOBS]
+            warm_single = [timed_post(client, job) for job in COLD_JOBS]
+
+        with ServerClient(background.host, background.port) as client:
+            before = client.stats().json["server"]
+        burst = duplicate_burst(background, DUP_JOB)
+        with ServerClient(background.host, background.port) as client:
+            after = client.stats().json["server"]
+
+        sweep = warm_closed_loop(background)
+        with ServerClient(background.host, background.port) as client:
+            final = client.stats().json["server"]
+
+    cold_mean = statistics.mean(cold)
+    warm_mean = statistics.mean(warm_single)
+    computed_delta = after["computed"] - before["computed"]
+    deduped_delta = after["deduped"] - before["deduped"]
+
+    payload = {
+        "scale": SCALE,
+        "clients": CLIENTS,
+        "cold_seconds": cold,
+        "warm_seconds": warm_single,
+        "speedup_warm_over_cold": cold_mean / max(warm_mean, 1e-9),
+        "duplicate_burst": {
+            "requests": CLIENTS,
+            "computed": computed_delta,
+            "deduped": deduped_delta,
+            "sources": sorted(burst["sources"]),
+            "wall_seconds": burst["seconds"],
+        },
+        "warm_closed_loop": sweep,
+        "server_stats": final,
+    }
+    out_path = RESULTS_DIR / "server.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+    print(json.dumps({
+        "speedup_warm_over_cold": payload["speedup_warm_over_cold"],
+        "warm_req_per_s": sweep["requests_per_second"],
+        "dedup": f"{computed_delta} computed / {deduped_delta} deduped",
+    }, indent=2))
+
+    # Gate 1: a warm hit replays from the store -- it must beat the
+    # cold compute it replaces by at least 10x.
+    assert cold_mean / max(warm_mean, 1e-9) >= 10, payload
+
+    # Gate 2: N concurrent duplicates cost exactly one computation.
+    assert computed_delta == 1, payload["duplicate_burst"]
+    assert deduped_delta == CLIENTS - 1, payload["duplicate_burst"]
+    assert sorted(burst["sources"]) == (
+        ["computed"] + ["deduped"] * (CLIENTS - 1)
+    )
+
+    # Nothing failed anywhere in the run.
+    assert final["failed"] == 0
+
+    shutil.rmtree(WORK_DIR, ignore_errors=True)

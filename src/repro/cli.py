@@ -27,7 +27,12 @@ Examples::
     # Fault tolerance: bounded retries, per-job timeouts, store audit.
     python -m repro run --jobs 4 --job-timeout 600 --retries 3 --strict
     python -m repro store fsck --store-dir results/store
+    python -m repro store gc --store-dir results/store   # compact/migrate
     REPRO_FAULTS='{"seed": 7, "crash_rate": 0.3}' python -m repro run ...
+
+    # Tuning-as-a-service: the asyncio HTTP job server (POST /jobs,
+    # ETag revalidation, in-flight dedup; see repro.server):
+    python -m repro serve --port 8765 --jobs 4 --scale tiny
 
     # Replay engine: columnar (vectorized, default) vs the legacy
     # per-instruction oracle loops -- results are bit-identical.
@@ -69,6 +74,7 @@ from repro.tuning import (
     resolve_strategy,
     strategy_names,
 )
+from repro.util import emit, status_line
 
 __all__ = ["main"]
 
@@ -141,29 +147,32 @@ def _render_fpu() -> str:
 
 
 _STATUS_LABELS = {
-    "memo": "memo ",
-    "hit": "hit  ",
-    "run": "ran  ",
+    "memo": "memo",
+    "hit": "hit",
+    "run": "ran",
     "retry": "retry",
     "timeout": "tmout",
-    "fail": "FAIL ",
+    "fail": "FAIL",
 }
 
 
 def _progress_printer(index, total, spec, status, seconds) -> None:
-    """Per-job progress line for ``repro run``."""
-    label = _STATUS_LABELS.get(status, f"{status:5.5s}")
+    """Per-job progress line for ``repro run``.
+
+    Rendered by :func:`repro.util.status_line` -- the same formatter
+    the job server's request log uses -- and written via
+    :func:`repro.util.emit`, which flushes unconditionally so lines
+    land immediately even when stdout is a pipe (CI, ``| tee``).
+    """
+    label = _STATUS_LABELS.get(status, status)
     if total:
         width = len(str(total))
-        head = f"[{index:{width}d}/{total}] "
+        head = f"{index:{width}d}/{total}"
     else:
         # Mid-job notifications (retry/timeout) carry no completion
         # index -- the job is still in flight.
-        head = "[ .. ] "
-    print(
-        f"  {head}{label}{spec.describe():44s} {seconds:6.1f}s",
-        flush=True,
-    )
+        head = " .. "
+    emit(status_line(head, label, spec.describe(), seconds))
 
 
 def _run_grid(cfg: ExperimentConfig) -> int:
@@ -178,7 +187,10 @@ def _run_grid(cfg: ExperimentConfig) -> int:
 
     specs = default_grid(cfg)
     runner = cfg.runner
-    print(
+    # emit() (not print): every progress/summary line flushes as it is
+    # written, so a piped `repro run` (CI logs, | tee) streams live
+    # instead of dumping everything at exit.
+    emit(
         f"repro run: {len(specs)} jobs "
         f"(scale {cfg.scale}, jobs {cfg.jobs}, "
         f"store {runner.store.root})"
@@ -187,46 +199,52 @@ def _run_grid(cfg: ExperimentConfig) -> int:
     try:
         results = runner.run(specs)
     except CampaignError as err:
-        print(f"campaign failed (strict): {err}")
+        emit(f"campaign failed (strict): {err}")
         results = {}
         code = 2
     counters = runner.counters
-    print(
+    emit(
         f"store warm: {counters.computed} computed, "
         f"{counters.store_hits} store hits, "
         f"{counters.memo_hits} memo hits "
         f"({len(runner.store.entries())} files in "
         f"{runner.store.version_dir})"
     )
-    print(f"ledger: {runner.ledger.summary()}")
+    emit(f"ledger: {runner.ledger.summary()}")
     if counters.corrupt:
-        print(
+        emit(
             f"quarantined {counters.corrupt} corrupt store entr"
             f"{'y' if counters.corrupt == 1 else 'ies'} "
             f"(recomputed; see {runner.store.quarantine_dir})"
         )
     failed = [r for r in results.values() if isinstance(r, JobFailure)]
     if failed:
-        print(f"{len(failed)} job(s) failed beyond their retry budget:")
+        emit(f"{len(failed)} job(s) failed beyond their retry budget:")
         for failure in failed:
-            print(f"  - {failure.describe()}")
+            emit(f"  - {failure.describe()}")
         code = code or 3
     return code
 
 
 def _store_cli(argv: list[str]) -> int:
-    """The ``repro store <verb>`` maintenance commands (fsck)."""
+    """The ``repro store <verb>`` maintenance commands (fsck, gc)."""
     from repro.runner import ResultStore
 
     parser = argparse.ArgumentParser(
         prog="repro store",
-        description="Result-store maintenance (audit and repair).",
+        description=(
+            "Result-store maintenance: fsck audits (and repairs) the "
+            "current version -- corruption quarantine, shard re-homing; "
+            "gc compacts the root -- migrates still-valid previous-"
+            "version entries into the sharded layout and drops "
+            "superseded versions."
+        ),
     )
-    parser.add_argument("verb", choices=("fsck",))
+    parser.add_argument("verb", choices=("fsck", "gc"))
     parser.add_argument(
         "--store-dir",
         default=None,
-        help="store root to audit (default: ./results/store)",
+        help="store root to operate on (default: ./results/store)",
     )
     parser.add_argument(
         "--backend",
@@ -237,25 +255,183 @@ def _store_cli(argv: list[str]) -> int:
     parser.add_argument(
         "--dry-run",
         action="store_true",
-        help="report problems without quarantining or sweeping anything",
+        help="report what would change without touching anything",
     )
     args = parser.parse_args(argv)
     store = ResultStore(args.store_dir, backend=args.backend)
+    if args.verb == "gc":
+        report = store.gc(dry_run=args.dry_run)
+        tense = "would be " if args.dry_run else ""
+        emit(f"repro store gc: compacted {store.root}")
+        emit(
+            f"  {tense}migrated {report['migrated']}, "
+            f"dropped {len(report['dropped'])}, "
+            f"directories removed {report['removed_dirs']}, "
+            f"temp files {report['tmp_removed']}"
+        )
+        for path in report["dropped"]:
+            emit(f"  {tense}dropped: {path}")
+        changes = (
+            report["migrated"]
+            or report["dropped"]
+            or report["tmp_removed"]
+        )
+        return 1 if args.dry_run and changes else 0
     report = store.fsck(repair=not args.dry_run)
     verdict = "quarantined" if not args.dry_run else "corrupt"
-    print(
+    emit(
         f"repro store fsck: scanned {report['scanned']} entries in "
         f"{store.version_dir}"
     )
-    print(
+    emit(
         f"  ok {report['ok']}, {verdict} {len(report['quarantined'])}, "
+        f"misplaced {len(report['misplaced'])}, "
+        f"legacy pending {report['legacy']}, "
         f"temp files {'removed' if not args.dry_run else 'found'} "
         f"{report['tmp_removed']}"
     )
     for path in report["quarantined"]:
-        print(f"  {verdict}: {path}")
+        emit(f"  {verdict}: {path}")
+    for path in report["misplaced"]:
+        emit(
+            f"  {'re-homed' if not args.dry_run else 'misplaced'}: {path}"
+        )
+    if report["legacy"]:
+        emit(
+            f"  {report['legacy']} previous-version entr"
+            f"{'y' if report['legacy'] == 1 else 'ies'} pending "
+            "migration (run: repro store gc)"
+        )
     if args.dry_run and (report["quarantined"] or report["tmp_removed"]):
         return 1
+    return 0
+
+
+def _serve_cli(argv: list[str]) -> int:
+    """The ``repro serve`` verb: run the HTTP job server until signalled.
+
+    SIGINT/SIGTERM trigger a graceful shutdown: the listener closes
+    immediately, in-flight jobs drain (their waiters get real
+    responses), then the executor stops.
+    """
+    import asyncio
+    import signal
+
+    from repro.server import DEFAULT_MAX_BODY, JobServer
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Tuning-as-a-service: an HTTP job server over the "
+            "experiment runner (POST /jobs, ETag revalidation, "
+            "in-flight dedup, /metrics)."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="listen port (0 picks an ephemeral one; default: 8765)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="concurrent computations (executor width; default: 1)",
+    )
+    parser.add_argument(
+        "--executor",
+        default="auto",
+        choices=("auto", "process", "thread"),
+        help=(
+            "where jobs execute: worker processes or in-process "
+            "threads (auto: processes when --jobs > 1)"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        default="tiny",
+        choices=("tiny", "small", "paper"),
+        help="default problem scale for jobs that omit one",
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        help="result-store root (default: ./results/store)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="tuning-result cache directory (default: ./results/tuning)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="reference",
+        choices=available_backends(),
+        help="arithmetic backend jobs compute under",
+    )
+    parser.add_argument(
+        "--strategy",
+        default="greedy",
+        choices=strategy_names(),
+        help="default tuning strategy for jobs that omit one",
+    )
+    parser.add_argument(
+        "--max-body",
+        type=int,
+        default=DEFAULT_MAX_BODY,
+        metavar="BYTES",
+        help="request-body ceiling; larger submissions are 413'd",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-request log lines",
+    )
+    args = parser.parse_args(argv)
+    session = Session(
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        default_strategy=args.strategy,
+    )
+    server = JobServer(
+        session=session,
+        scale=args.scale,
+        store_dir=args.store_dir,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        host=args.host,
+        port=args.port,
+        executor=None if args.executor == "auto" else args.executor,
+        max_body=args.max_body,
+        log_requests=not args.quiet,
+    )
+
+    async def _main() -> None:
+        await server.start()
+        emit(
+            f"repro serve: http://{server.host}:{server.port} "
+            f"(jobs {server.jobs}, executor {server.executor_kind}, "
+            f"scale {server.scale}, store {server.store.root})"
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # platforms without signal-handler support
+        await stop.wait()
+        emit("repro serve: draining in-flight jobs")
+        await server.shutdown(drain=True)
+        emit("repro serve: stopped")
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass  # signal handler unavailable; plain interrupt
     return 0
 
 
@@ -432,6 +608,8 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "store":
         # Maintenance verbs take their own argument shape.
         return _store_cli(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_cli(argv[1:])
     if argv and argv[0] == "lint":
         return _lint_cli(argv[1:])
     if argv and argv[0] == "static":

@@ -45,8 +45,10 @@ from .store import (
     STORE_VERSION,
     JobSpec,
     ResultStore,
+    StoreStats,
     default_store_dir,
     payload_checksum,
+    shard_of,
 )
 
 __all__ = [
@@ -66,7 +68,9 @@ __all__ = [
     "strip_casts",
     "JobSpec",
     "ResultStore",
+    "StoreStats",
     "STORE_VERSION",
     "default_store_dir",
     "payload_checksum",
+    "shard_of",
 ]

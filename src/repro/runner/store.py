@@ -6,17 +6,30 @@ that produced it and a store-format version.  A second driver (or a
 second process, or tomorrow's run) that asks for the same job gets a
 pure cache hit; nothing is recomputed.
 
-Layout under the store root::
+Layout under the store root (sharded since v4: entries fan out across
+256 two-hex-digit shard directories keyed by a hash of the file name,
+so a store holding millions of grid points never puts them all in one
+directory)::
 
-    <root>/v<VERSION>/flow/conv-tiny-V2-0.1-reference.json
-    <root>/v<VERSION>/report/baseline-conv-tiny-reference.json
-    <root>/v<VERSION>/report/pca_manual-pca-tiny-V2-0.001-reference.json
-    <root>/v<VERSION>/cluster/conv-tiny-V2-0.1-c4r2-reference.json
+    <root>/v<VERSION>/flow/1f/conv-tiny-V2-0.1-reference.json
+    <root>/v<VERSION>/report/07/baseline-conv-tiny-reference.json
+    <root>/v<VERSION>/report/c2/pca_manual-pca-tiny-V2-0.001-reference.json
+    <root>/v<VERSION>/cluster/9a/conv-tiny-V2-0.1-c4r2-reference.json
 
 Every file is a self-describing envelope ``{"version", "kind", "key",
 "checksum", "payload"}``; readers reject entries whose version does not
 match :data:`STORE_VERSION`.  Bump the version (or wipe the root)
 whenever the payload schema or the meaning of a result changes.
+
+Flat pre-shard stores migrate transparently: a key that misses in the
+sharded layout is probed at its flat legacy locations (the unsharded
+spot in this version's directory, then the previous version's flat
+layout when only the on-disk *layout* changed, as in v3 -> v4); a
+valid legacy envelope is re-homed into its shard -- payload bytes
+unchanged, nothing recomputed -- and counted in ``migrated``.
+:meth:`ResultStore.gc` (``repro store gc``) compacts the whole root
+the same way: every still-valid previous-version entry is migrated,
+superseded versions are dropped, and empty directories are removed.
 
 Writes are atomic (temp file + ``os.replace``), so concurrent workers --
 or concurrent ``repro run`` invocations -- can never tear a file; every
@@ -34,6 +47,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -45,15 +59,22 @@ __all__ = [
     "STORE_VERSION",
     "JobSpec",
     "ResultStore",
+    "StoreStats",
     "default_store_dir",
     "payload_checksum",
+    "shard_of",
 ]
 
 #: Bump when the payload schema or result semantics change; old entries
 #: are ignored (and can be wiped with ``ResultStore.wipe()``).
 #: v2: envelope keys and flow payloads carry the tuning-strategy name.
 #: v3: envelopes carry a payload checksum (corruption detection).
-STORE_VERSION = 3
+#: v4: sharded layout (2-hex fan-out by key-name hash); payloads are
+#:     unchanged, so v3 entries migrate in place without recomputation.
+STORE_VERSION = 4
+
+#: Hex digits of the shard fan-out: 2 -> 256 directories per kind.
+SHARD_DIGITS = 2
 
 #: Leftover temp files older than this are swept when a store opens
 #: (a killed writer's residue); younger ones may belong to a live
@@ -65,6 +86,59 @@ def payload_checksum(payload: dict) -> str:
     """Content checksum of a payload (canonical-JSON SHA-256)."""
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def shard_of(name: str) -> str:
+    """The shard directory a store file name fans out into.
+
+    A hash prefix, not a name prefix: key names share long common
+    prefixes (every conv entry starts with ``conv-``), so hashing is
+    what actually spreads millions of entries evenly across the
+    fan-out.
+    """
+    return hashlib.sha256(name.encode()).hexdigest()[:SHARD_DIGITS]
+
+
+@dataclass
+class StoreStats:
+    """Counter snapshot of one store's cache behaviour.
+
+    ``deduped`` counts :meth:`ResultStore.get_or_begin` callers that
+    found the key already being computed -- they are *not* hits (no
+    payload was served from disk) and *not* misses (nothing will be
+    recomputed for them); conflating them with either would make a
+    burst of identical requests look like a cold or a warm store.
+    ``migrated`` counts legacy-layout entries re-homed into the sharded
+    layout without recomputation.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    repaired: int = 0
+    migrated: int = 0
+    deduped: int = 0
+
+    def to_payload(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "repaired": self.repaired,
+            "migrated": self.migrated,
+            "deduped": self.deduped,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "StoreStats":
+        return cls(
+            hits=payload["hits"],
+            misses=payload["misses"],
+            corrupt=payload["corrupt"],
+            repaired=payload["repaired"],
+            migrated=payload["migrated"],
+            deduped=payload["deduped"],
+        )
 
 
 def default_store_dir() -> Path:
@@ -207,6 +281,13 @@ class ResultStore:
         self.misses = 0
         self.corrupt = 0
         self.repaired = 0
+        self.migrated = 0
+        self.deduped = 0
+        # In-flight computation claims (see get_or_begin): the lock
+        # makes claim-vs-hit accounting atomic under concurrent callers
+        # (the job server probes from executor threads).
+        self._inflight: set[Path] = set()
+        self._inflight_lock = threading.Lock()
         # A writer killed mid-save leaves temp residue behind; sweep it
         # on open so it cannot accumulate across campaigns.
         clean_stale_temps(self.version_dir, ttl_s=stale_temp_ttl_s)
@@ -221,10 +302,35 @@ class ResultStore:
         """Sibling directory corrupt entries are moved to (never read)."""
         return self.root / "quarantine" / f"v{self.version}"
 
-    def path(self, spec: JobSpec) -> Path:
+    def name(self, spec: JobSpec) -> str:
+        """The file name addressing a job (shard-independent)."""
         tail = (self.backend,) + ((self.env,) if self.env else ())
-        name = "-".join(spec.key_fields() + tail)
-        return self.version_dir / spec.kind / f"{name}.json"
+        return "-".join(spec.key_fields() + tail) + ".json"
+
+    def path(self, spec: JobSpec) -> Path:
+        name = self.name(spec)
+        return self.version_dir / spec.kind / shard_of(name) / name
+
+    def legacy_paths(self, spec: JobSpec) -> "list[tuple[Path, int]]":
+        """Flat pre-shard locations a missing key may still live at.
+
+        ``(path, expected envelope version)`` pairs, probed in order:
+        the unsharded spot inside this version's directory (a store
+        written by pre-shard code running the current version), then
+        the previous version's flat layout -- v3 -> v4 changed only the
+        on-disk layout, so a v3 envelope's payload is still valid
+        verbatim.
+        """
+        name = self.name(spec)
+        candidates = [(self.version_dir / spec.kind / name, self.version)]
+        if self.version >= 1:
+            candidates.append(
+                (
+                    self.root / f"v{self.version - 1}" / spec.kind / name,
+                    self.version - 1,
+                )
+            )
+        return candidates
 
     def _key(self, spec: JobSpec) -> dict:
         """The exact identity stored in (and checked against) envelopes.
@@ -263,7 +369,11 @@ class ResultStore:
         :attr:`quarantine_dir`.  Returns the destination, or None if
         the file vanished first (a racing quarantine is not an error).
         """
-        dest_dir = self.quarantine_dir / path.parent.name
+        try:
+            rel = path.relative_to(self.version_dir).parent
+        except ValueError:
+            rel = Path(path.parent.name)
+        dest_dir = self.quarantine_dir / rel
         dest_dir.mkdir(parents=True, exist_ok=True)
         dest = dest_dir / path.name
         serial = 0
@@ -293,6 +403,10 @@ class ResultStore:
             faults.maybe_io_error("store-load", path.stem)
             raw = path.read_text()
         except OSError:
+            migrated = self._migrate_load(spec)
+            if migrated is not None:
+                self.hits += 1
+                return migrated
             self.misses += 1
             return None
         try:
@@ -320,6 +434,103 @@ class ResultStore:
             return None
         self.hits += 1
         return payload
+
+    def _migrate_load(self, spec: JobSpec) -> "dict | None":
+        """Read-through migration: re-home a valid flat legacy entry.
+
+        Probes the key's flat pre-shard locations; a fully valid
+        envelope (matching key, intact checksum, expected version) is
+        rewritten into the sharded layout -- payload verbatim, nothing
+        recomputed -- and the legacy file removed.  Anything less than
+        fully valid is left where it is: corrupt *legacy* bytes are not
+        this version's responsibility, and an honest miss (recompute)
+        is always safe.
+        """
+        for legacy, expected_version in self.legacy_paths(spec):
+            try:
+                envelope = json.loads(legacy.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("version") != expected_version
+                or envelope.get("key") != self._key(spec)
+            ):
+                continue
+            payload = envelope.get("payload")
+            if (
+                payload is None
+                or envelope.get("checksum") != payload_checksum(payload)
+            ):
+                continue
+            write_json_atomic(
+                self.path(spec), self._envelope(spec, payload)
+            )
+            try:
+                legacy.unlink()
+            except OSError:
+                pass  # a racing migrator won; the sharded copy stands
+            self.migrated += 1
+            return payload
+        return None
+
+    # ------------------------------------------------------------------
+    # In-flight computation claims (the job server's dedup primitive)
+    # ------------------------------------------------------------------
+    def get_or_begin(
+        self, spec: JobSpec
+    ) -> "tuple[dict | None, bool]":
+        """Atomically load a payload or claim the right to compute it.
+
+        Returns ``(payload, leader)``:
+
+        * ``(payload, False)`` -- warm hit, served from disk;
+        * ``(None, True)``     -- cold, and *this* caller now owns the
+          computation: it must :meth:`save` and then :meth:`finish` the
+          spec (``finally``-guaranteed), or every later caller blocks
+          on a claim nobody will release;
+        * ``(None, False)``    -- cold, but another caller already owns
+          the computation: counted in ``deduped`` (not a hit, not a
+          miss) -- the caller should wait for the leader's result.
+
+        The check-and-claim is one critical section, so a burst of
+        concurrent identical requests books exactly one miss (the
+        leader) and N-1 dedups; without it, every waiter would race the
+        leader's load and the hit/miss/dedup split would depend on
+        scheduling.
+        """
+        with self._inflight_lock:
+            token = self.path(spec)
+            if token in self._inflight:
+                self.deduped += 1
+                return None, False
+            payload = self.load(spec)
+            if payload is not None:
+                return payload, False
+            self._inflight.add(token)
+            return None, True
+
+    def finish(self, spec: JobSpec) -> None:
+        """Release a :meth:`get_or_begin` claim (idempotent)."""
+        with self._inflight_lock:
+            self._inflight.discard(self.path(spec))
+
+    def in_flight(self) -> int:
+        """How many keys are currently claimed for computation."""
+        with self._inflight_lock:
+            return len(self._inflight)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> StoreStats:
+        """Counter snapshot (see :class:`StoreStats`)."""
+        return StoreStats(
+            hits=self.hits,
+            misses=self.misses,
+            corrupt=self.corrupt,
+            repaired=self.repaired,
+            migrated=self.migrated,
+            deduped=self.deduped,
+        )
 
     def _envelope(self, spec: JobSpec, payload: dict) -> dict:
         return {
@@ -364,16 +575,24 @@ class ResultStore:
 
     def fsck(self, repair: bool = True) -> dict:
         """Audit (and with ``repair=True`` fix) every entry of this
-        version: quarantine corrupt/malformed envelopes and sweep *all*
-        leftover temp files.  Returns a summary dict.
+        version: quarantine corrupt/malformed envelopes, re-home valid
+        entries sitting outside their shard (flat pre-shard stragglers,
+        hand-moved files) and sweep *all* leftover temp files.  Returns
+        a summary dict; ``legacy`` counts previous-version entries still
+        awaiting migration (``repro store gc`` compacts those).
         """
         report = {
             "scanned": 0,
             "ok": 0,
             "quarantined": [],
+            "misplaced": [],
+            "legacy": 0,
             "tmp_removed": 0,
             "repaired": repair,
         }
+        legacy_dir = self.root / f"v{self.version - 1}"
+        if legacy_dir.is_dir():
+            report["legacy"] = sum(1 for _ in legacy_dir.rglob("*.json"))
         if not self.version_dir.exists():
             return report
         if repair:
@@ -405,13 +624,136 @@ class ResultStore:
                 report["quarantined"].append(str(path))
                 if repair:
                     self.quarantine(path)
-            else:
-                report["ok"] += 1
+                continue
+            kind = envelope.get("kind")
+            if not isinstance(kind, str) or not kind:
+                kind = path.relative_to(self.version_dir).parts[0]
+            expected = (
+                self.version_dir / kind / shard_of(path.name) / path.name
+            )
+            if path != expected:
+                report["misplaced"].append(str(path))
+                if repair:
+                    expected.parent.mkdir(parents=True, exist_ok=True)
+                    try:
+                        os.replace(path, expected)
+                    except OSError:
+                        pass  # racing repair; the survivor is audited
+            report["ok"] += 1
         return report
 
+    def gc(self, dry_run: bool = False) -> dict:
+        """Compact the store root: migrate, then drop, old versions.
+
+        Every still-valid entry of the immediately preceding version
+        (same payload schema, different layout -- the read-through
+        migration's bulk form) is re-homed into the current sharded
+        layout; everything else under a superseded ``v*`` directory is
+        dropped, the emptied directories removed, and temp residue of
+        any age swept.  ``dry_run=True`` reports without touching
+        anything.  Returns a summary dict.
+        """
+        report = {
+            "dry_run": dry_run,
+            "migrated": 0,
+            "dropped": [],
+            "removed_dirs": 0,
+            "tmp_removed": 0,
+        }
+        for vdir in sorted(self.root.glob("v*")):
+            if not vdir.is_dir():
+                continue
+            try:
+                old_version = int(vdir.name[1:])
+            except ValueError:
+                continue
+            if old_version >= self.version:
+                continue
+            for path in sorted(vdir.rglob("*.json")):
+                if old_version == self.version - 1 and self._gc_migrate(
+                    path, old_version, dry_run
+                ):
+                    report["migrated"] += 1
+                    continue
+                report["dropped"].append(str(path))
+                if not dry_run:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+            if not dry_run:
+                report["removed_dirs"] += self._prune_empty_dirs(vdir)
+        if dry_run:
+            report["tmp_removed"] = sum(1 for _ in self.root.rglob("*.tmp"))
+        else:
+            report["tmp_removed"] = clean_stale_temps(self.root, ttl_s=0.0)
+        return report
+
+    def _gc_migrate(
+        self, path: Path, old_version: int, dry_run: bool
+    ) -> bool:
+        """Re-home one previous-version entry into the sharded layout.
+
+        Unlike the spec-keyed read-through path, gc only has the file:
+        the envelope must carry the expected version, a well-formed key
+        and an intact checksum; the exact key-vs-spec cross-check still
+        happens on every later :meth:`load`.  An entry whose sharded
+        target already exists was migrated (or recomputed) earlier --
+        the old copy is superseded and simply dropped.
+        """
+        try:
+            envelope = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return False
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("version") != old_version
+            or not isinstance(envelope.get("key"), dict)
+            or envelope.get("payload") is None
+            or envelope.get("checksum")
+            != payload_checksum(envelope["payload"])
+        ):
+            return False
+        kind = envelope.get("kind") or path.parent.name
+        if not isinstance(kind, str) or not kind:
+            return False
+        target = self.version_dir / kind / shard_of(path.name) / path.name
+        if target.exists():
+            return False
+        if not dry_run:
+            envelope["version"] = self.version
+            write_json_atomic(target, envelope)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.migrated += 1
+        return True
+
+    @staticmethod
+    def _prune_empty_dirs(root: Path) -> int:
+        """Remove now-empty directories bottom-up; returns the count."""
+        removed = 0
+        dirs = sorted(
+            (d for d in root.rglob("*") if d.is_dir()), reverse=True
+        )
+        for directory in dirs + [root]:
+            try:
+                directory.rmdir()
+                removed += 1
+            except OSError:
+                continue  # not empty (or already gone)
+        return removed
+
     def contains(self, spec: JobSpec) -> bool:
-        """Existence check that does not touch the hit/miss counters."""
-        return self.path(spec).exists()
+        """Existence check that does not touch the hit/miss counters.
+
+        Legacy flat locations count: the entry is loadable (via
+        read-through migration), which is what existence means here.
+        """
+        return self.path(spec).exists() or any(
+            legacy.exists() for legacy, _ in self.legacy_paths(spec)
+        )
 
     def wipe(self) -> int:
         """Delete every entry of *this* store version; returns the count."""

@@ -1,0 +1,46 @@
+"""Tuning-as-a-service: an asyncio HTTP front-end over the runner.
+
+>>> from repro.server import BackgroundServer, ServerClient
+>>> with BackgroundServer(scale="tiny") as bg:          # doctest: +SKIP
+...     client = ServerClient(bg.host, bg.port)
+...     reply = client.post_job(
+...         {"kind": "tune", "app": "conv", "type_system": "V2",
+...          "precision": 1e-1}
+...     )
+...     reply.json["payload"]["binding"]
+
+The server maps JSON job descriptions onto the existing
+:class:`~repro.runner.store.JobSpec` identity and dispatches them to
+:func:`~repro.runner.engine.execute_job` on an executor, so results --
+and their on-disk store envelopes -- are byte-identical to serial
+``repro run`` ones.  Identical concurrent requests are deduplicated to
+a single computation; warm results revalidate with ``ETag``/304.
+Stdlib only: no web framework, no new dependencies.
+"""
+
+from .app import BackgroundServer, JobRecord, JobServer
+from .client import Response, ServerClient
+from .http import (
+    DEFAULT_MAX_BODY,
+    HTTPError,
+    HTTPRequest,
+    error_body,
+    json_response,
+    read_request,
+)
+from .stats import ServerStats
+
+__all__ = [
+    "BackgroundServer",
+    "JobRecord",
+    "JobServer",
+    "Response",
+    "ServerClient",
+    "ServerStats",
+    "DEFAULT_MAX_BODY",
+    "HTTPError",
+    "HTTPRequest",
+    "error_body",
+    "json_response",
+    "read_request",
+]

@@ -1,0 +1,161 @@
+"""A small blocking client for the job server (stdlib ``http.client``).
+
+The load driver, the CI smoke and :class:`~repro.session.Session`
+helpers all talk to the server through this; it keeps one persistent
+keep-alive connection per instance, so a closed-loop benchmark client
+measures request cost, not TCP handshakes.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["Response", "ServerClient"]
+
+
+@dataclass
+class Response:
+    """One HTTP exchange's outcome, body pre-decoded when JSON."""
+
+    status: int
+    headers: dict = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def json(self) -> "dict | None":
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+
+    @property
+    def etag(self) -> str:
+        return self.headers.get("etag", "")
+
+    @property
+    def source(self) -> str:
+        return self.headers.get("x-repro-source", "")
+
+
+class ServerClient:
+    """Blocking HTTP client bound to one server address.
+
+    Not thread-safe (one underlying connection); give each load-driver
+    thread its own instance.
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout: float = 300.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: "http.client.HTTPConnection | None" = None
+
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: "bytes | None" = None,
+        headers: "dict | None" = None,
+    ) -> Response:
+        send = dict(headers or {})
+        if body is not None:
+            send.setdefault("Content-Type", "application/json")
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=body, headers=send)
+            raw = conn.getresponse()
+        except (ConnectionError, http.client.HTTPException, OSError):
+            # The server may have closed an idle keep-alive connection;
+            # one reconnect attempt is part of normal HTTP/1.1 life.
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=body, headers=send)
+            raw = conn.getresponse()
+        payload = raw.read()
+        response = Response(
+            status=raw.status,
+            headers={k.lower(): v for k, v in raw.getheaders()},
+            body=payload,
+        )
+        if raw.headers.get("Connection", "").lower() == "close":
+            self.close()
+        return response
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def post_job(
+        self,
+        job: dict,
+        etag: str = "",
+        wait: bool = True,
+    ) -> Response:
+        """Submit a job description; blocks until done by default."""
+        path = "/jobs" if wait else "/jobs?wait=false"
+        headers = {"If-None-Match": etag} if etag else {}
+        return self._request(
+            "POST", path,
+            body=json.dumps(job).encode("utf-8"),
+            headers=headers,
+        )
+
+    def post_raw(self, body: bytes, headers: "dict | None" = None) -> Response:
+        """Submit raw bytes to ``/jobs`` (malformed-input tests)."""
+        return self._request("POST", "/jobs", body=body, headers=headers)
+
+    def get_job(self, job_id: str, etag: str = "") -> Response:
+        headers = {"If-None-Match": etag} if etag else {}
+        return self._request("GET", f"/jobs/{job_id}", headers=headers)
+
+    def events(self, job_id: str) -> "list[dict]":
+        """The job's full event stream (blocks until it ends)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            raw = conn.getresponse()
+            if raw.status != 200:
+                body = raw.read()
+                raise RuntimeError(
+                    f"event stream refused: {raw.status} {body!r}"
+                )
+            # http.client undoes the chunked framing; the payload is
+            # newline-delimited JSON.
+            lines = raw.read().decode("utf-8").splitlines()
+        finally:
+            conn.close()
+        return [json.loads(line) for line in lines if line.strip()]
+
+    def health(self) -> Response:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Response:
+        return self._request("GET", "/stats")
+
+    def metrics(self) -> str:
+        return self._request("GET", "/metrics").body.decode("utf-8")

@@ -1,0 +1,253 @@
+"""A minimal asyncio HTTP/1.1 layer -- stdlib only, no frameworks.
+
+Just enough protocol for the job server: request parsing with hard
+header/body limits (a malformed or oversized request is rejected before
+any work is dispatched), JSON responses with ``Content-Length`` and
+keep-alive, conditional-GET revalidation (``ETag`` /
+``If-None-Match`` -> 304), and chunked transfer encoding for the
+progress-event stream.
+
+Everything speaks bytes at the ``asyncio.StreamReader`` /
+``StreamWriter`` level; the routing and job semantics live in
+:mod:`repro.server.app`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "DEFAULT_MAX_BODY",
+    "MAX_HEADER_BYTES",
+    "HTTPError",
+    "HTTPRequest",
+    "STATUS_REASONS",
+    "error_body",
+    "json_response",
+    "read_request",
+    "response_bytes",
+    "send_chunk",
+    "start_chunked",
+]
+
+#: Largest request body accepted (job descriptions are a few hundred
+#: bytes; anything near this limit is abuse, not a job).
+DEFAULT_MAX_BODY = 1 << 20
+
+#: Largest request head (request line + headers) accepted.
+MAX_HEADER_BYTES = 16 * 1024
+
+STATUS_REASONS = {
+    200: "OK",
+    204: "No Content",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class HTTPError(Exception):
+    """A request the server refuses -- carries the response status.
+
+    Raised by the parsing layer (and the app's validators) *before* any
+    job is dispatched; the connection handler turns it into a
+    structured JSON error response.
+    """
+
+    def __init__(self, status: int, message: str, detail: str = "") -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.detail = detail
+
+
+@dataclass
+class HTTPRequest:
+    """One parsed request: method, split target, headers, raw body."""
+
+    method: str
+    path: str
+    query: dict = field(default_factory=dict)
+    headers: dict = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def segments(self) -> "tuple[str, ...]":
+        """Non-empty, percent-decoded path segments."""
+        return tuple(
+            unquote(part) for part in self.path.split("/") if part
+        )
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.header("connection", "keep-alive").lower() != "close"
+
+    def json(self) -> dict:
+        """The body as a JSON object; structured 400 on anything else."""
+        try:
+            decoded = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as err:
+            raise HTTPError(
+                400, "request body is not valid JSON", str(err)
+            ) from None
+        if not isinstance(decoded, dict):
+            raise HTTPError(
+                400,
+                "request body must be a JSON object",
+                f"got {type(decoded).__name__}",
+            )
+        return decoded
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = DEFAULT_MAX_BODY
+) -> "HTTPRequest | None":
+    """Parse one request off the stream.
+
+    Returns None on a clean end-of-stream (the client closed an idle
+    keep-alive connection); raises :class:`HTTPError` for anything the
+    server refuses -- oversized heads/bodies are rejected from the
+    ``Content-Length`` header alone, before a single body byte is read.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as err:
+        if not err.partial:
+            return None
+        raise HTTPError(400, "truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise HTTPError(431, "request head too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise HTTPError(431, "request head too large")
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+        method, target, version = lines[0].split(" ", 2)
+    except (UnicodeDecodeError, ValueError):
+        raise HTTPError(400, "malformed request line") from None
+    if not version.startswith("HTTP/1."):
+        raise HTTPError(400, f"unsupported protocol {version!r}")
+    headers: dict = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise HTTPError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    split = urlsplit(target)
+    request = HTTPRequest(
+        method=method.upper(),
+        path=split.path or "/",
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+    )
+    if "transfer-encoding" in headers:
+        raise HTTPError(
+            501, "chunked request bodies are not supported"
+        )
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HTTPError(
+            400, f"bad Content-Length {length_text!r}"
+        ) from None
+    if length < 0:
+        raise HTTPError(400, f"bad Content-Length {length_text!r}")
+    if length > max_body:
+        # Refused before reading: the body never enters memory.
+        raise HTTPError(
+            413,
+            "request body too large",
+            f"{length} bytes > limit {max_body}",
+        )
+    if length:
+        try:
+            request.body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HTTPError(400, "request body shorter than its "
+                            "Content-Length") from None
+    return request
+
+
+def response_bytes(
+    status: int,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    headers: "tuple[tuple[str, str], ...]" = (),
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one complete non-chunked response."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    if status != 304:
+        # 304 must not carry a body; Content-Length 0 plus the
+        # revalidation headers is exactly what caches expect.
+        lines.append(f"Content-Type: {content_type}")
+    lines.append(f"Content-Length: {len(body)}")
+    lines.append(
+        "Connection: " + ("keep-alive" if keep_alive else "close")
+    )
+    for name, value in headers:
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def json_response(
+    status: int,
+    payload,
+    headers: "tuple[tuple[str, str], ...]" = (),
+    keep_alive: bool = True,
+) -> bytes:
+    """A JSON response (deterministic bytes for identical payloads)."""
+    body = (json.dumps(payload, indent=None) + "\n").encode("utf-8")
+    return response_bytes(
+        status, body, headers=headers, keep_alive=keep_alive
+    )
+
+
+def error_body(status: int, message: str, detail: str = "") -> dict:
+    """The structured error payload every 4xx/5xx carries."""
+    error = {"status": status, "message": message}
+    if detail:
+        error["detail"] = detail
+    return {"error": error}
+
+
+def start_chunked(
+    status: int = 200,
+    content_type: str = "application/x-ndjson",
+    headers: "tuple[tuple[str, str], ...]" = (),
+) -> bytes:
+    """Head of a chunked response (the event stream's opener)."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        "Transfer-Encoding: chunked",
+        "Connection: close",
+    ]
+    for name, value in headers:
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def send_chunk(data: bytes) -> bytes:
+    """One chunk frame; an empty chunk terminates the stream."""
+    return f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n"

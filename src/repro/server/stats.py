@@ -1,0 +1,63 @@
+"""Request-level counters for the job server.
+
+:class:`ServerStats` counts what the *HTTP front-end* did; the store's
+own :class:`~repro.runner.store.StoreStats` counts what the data plane
+did.  ``/stats`` serves both side by side and ``/metrics`` renders both
+as Prometheus-style text, so a load test can split "requests that never
+reached the pool" (bad requests, 304 revalidations, warm hits, dedup'd
+waiters) from "computations actually run".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServerStats"]
+
+
+@dataclass
+class ServerStats:
+    """One server's request accounting.
+
+    ``computed`` counts jobs that actually ran on the executor;
+    ``store_hits`` counts requests served from the warm store (either
+    at the front door or by a worker's store re-check); ``deduped``
+    counts requests that attached to an identical in-flight computation
+    instead of starting their own; ``not_modified`` counts conditional
+    GETs answered 304 without a payload.  The four are disjoint, so
+    their sum plus ``failed`` accounts for every job request.
+    """
+
+    requests: int = 0
+    bad_requests: int = 0
+    not_modified: int = 0
+    computed: int = 0
+    store_hits: int = 0
+    deduped: int = 0
+    failed: int = 0
+    in_flight: int = 0
+
+    def to_payload(self) -> dict:
+        return {
+            "requests": self.requests,
+            "bad_requests": self.bad_requests,
+            "not_modified": self.not_modified,
+            "computed": self.computed,
+            "store_hits": self.store_hits,
+            "deduped": self.deduped,
+            "failed": self.failed,
+            "in_flight": self.in_flight,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ServerStats":
+        return cls(
+            requests=payload["requests"],
+            bad_requests=payload["bad_requests"],
+            not_modified=payload["not_modified"],
+            computed=payload["computed"],
+            store_hits=payload["store_hits"],
+            deduped=payload["deduped"],
+            failed=payload["failed"],
+            in_flight=payload["in_flight"],
+        )

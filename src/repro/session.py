@@ -64,6 +64,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .cluster import ClusterPlatform
     from .flow import TransprecisionFlow
     from .hardware import VirtualPlatform
+    from .server import JobServer
 
 __all__ = ["Session", "get_session", "use_session", "use_backend"]
 
@@ -356,6 +357,20 @@ class Session:
         return TransprecisionFlow(
             app, type_system, precision, session=self, **kwargs
         )
+
+    def server(self, **kwargs) -> "JobServer":
+        """A :class:`repro.server.JobServer` computing under this
+        session (constructed, not yet started).
+
+        Keyword arguments pass through to the server -- ``scale``,
+        ``store_dir``, ``jobs``, ``host``/``port``, ... -- and its
+        workers rebuild this session via :meth:`from_spec`, so served
+        results are byte-identical to ones this session computes
+        directly.
+        """
+        from .server import JobServer
+
+        return JobServer(session=self, **kwargs)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (

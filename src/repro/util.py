@@ -2,18 +2,53 @@
 
 Currently: crash/concurrency-safe JSON persistence (plus cleanup of
 the temp residue a killed writer leaves behind), shared by the tuning
-cache and the experiment runner's result store.
+cache and the experiment runner's result store; and line-oriented
+progress/log output shared by ``repro run`` and the job server.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sys
 import tempfile
 import time
 from pathlib import Path
 
-__all__ = ["write_json_atomic", "clean_stale_temps"]
+__all__ = [
+    "write_json_atomic",
+    "clean_stale_temps",
+    "emit",
+    "status_line",
+]
+
+
+def emit(text: str, stream=None) -> None:
+    """Write one output line and flush unconditionally.
+
+    Progress and request-log lines must land immediately even when
+    stdout is a pipe (CI logs, ``repro serve`` behind a supervisor,
+    ``repro run | tee``): block buffering would sit on partial output
+    until the process exits.  ``print(..., flush=True)`` only flushes
+    its own line; routing *every* line-oriented status write through
+    here keeps interleaved writers (progress callback + summary) in
+    order too.
+    """
+    stream = sys.stdout if stream is None else stream
+    stream.write(text + "\n")
+    stream.flush()
+
+
+def status_line(
+    head: str, label: str, text: str, seconds: float
+) -> str:
+    """One aligned status line: ``[head] label text  1.2s``.
+
+    The shared formatter behind ``repro run`` per-job progress and the
+    job server's request log, so the two render identically and a
+    combined log stays scannable.
+    """
+    return f"  [{head}] {label:5.5s} {text:44s} {seconds:6.1f}s"
 
 
 def write_json_atomic(path: Path, payload: dict, indent: int = 2) -> None:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.runner import STORE_VERSION, JobSpec, ResultStore
+from repro.runner import STORE_VERSION, JobSpec, ResultStore, shard_of
 
 
 def flow_spec(**overrides):
@@ -60,18 +60,19 @@ class TestStoreKeys:
         """Regression: pre-cluster layouts must keep their exact file
         names, so existing warm stores stay warm."""
         store = ResultStore(tmp_path, backend="reference")
+        name = "conv-tiny-V2-0.1-reference.json"
         assert store.path(flow_spec()) == (
-            tmp_path / f"v{STORE_VERSION}" / "flow"
-            / "conv-tiny-V2-0.1-reference.json"
+            tmp_path / f"v{STORE_VERSION}" / "flow" / shard_of(name) / name
         )
         report = JobSpec("report", "conv", "tiny", variant="baseline")
         assert store.path(report).name == "baseline-conv-tiny-reference.json"
 
     def test_cluster_keys_carry_the_topology(self, tmp_path):
         store = ResultStore(tmp_path, backend="reference")
+        name = "conv-tiny-V2-0.1-c4r2-reference.json"
         assert store.path(cluster_spec()) == (
             tmp_path / f"v{STORE_VERSION}" / "cluster"
-            / "conv-tiny-V2-0.1-c4r2-reference.json"
+            / shard_of(name) / name
         )
 
     def test_cluster_jobs_never_alias_flow_entries(self, tmp_path):

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.runner import STORE_VERSION, JobSpec, ResultStore
+from repro.runner import STORE_VERSION, JobSpec, ResultStore, shard_of
 
 
 def flow_spec(**overrides):
@@ -46,10 +46,25 @@ class TestStoreLayout:
     def test_flow_path(self, tmp_path):
         store = ResultStore(tmp_path, backend="reference")
         path = store.path(flow_spec())
+        name = "conv-tiny-V2-0.1-reference.json"
         assert path == (
-            tmp_path / f"v{STORE_VERSION}" / "flow"
-            / "conv-tiny-V2-0.1-reference.json"
+            tmp_path / f"v{STORE_VERSION}" / "flow" / shard_of(name) / name
         )
+
+    def test_entries_fan_out_across_shards(self, tmp_path):
+        store = ResultStore(tmp_path)
+        shards = {
+            store.path(flow_spec(precision=p)).parent.name
+            for p in (1e-1, 1e-2, 1e-3, 1e-4, 1e-5)
+        }
+        # 2-hex fan-out: every shard is a two-hex-digit directory, and
+        # distinct keys actually spread (all five in one shard would
+        # mean the fan-out hashes the wrong thing).
+        assert all(
+            len(s) == 2 and set(s) <= set("0123456789abcdef")
+            for s in shards
+        )
+        assert len(shards) > 1
 
     def test_report_path_without_type_system(self, tmp_path):
         store = ResultStore(tmp_path, backend="fast")

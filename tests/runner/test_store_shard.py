@@ -1,0 +1,260 @@
+"""Sharded store layout: migration, compaction/gc, in-flight claims."""
+
+import json
+import threading
+
+from repro.runner import (
+    STORE_VERSION,
+    JobSpec,
+    ResultStore,
+    StoreStats,
+    shard_of,
+)
+from repro.util import write_json_atomic
+
+
+def flow_spec(**overrides):
+    base = dict(
+        kind="flow", app="conv", scale="tiny",
+        type_system="V2", precision=1e-1,
+    )
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+def plant_legacy_flat(root, spec, payload, version=STORE_VERSION - 1):
+    """Write a flat pre-shard entry exactly as the old layout did."""
+    legacy = ResultStore(root, version=version)
+    envelope = legacy._envelope(spec, payload)
+    path = root / f"v{version}" / spec.kind / legacy.name(spec)
+    write_json_atomic(path, envelope)
+    return path
+
+
+class TestReadThroughMigration:
+    def test_flat_previous_version_entry_is_served_and_resharded(
+        self, tmp_path
+    ):
+        spec = flow_spec()
+        flat = plant_legacy_flat(tmp_path, spec, {"answer": 42})
+        store = ResultStore(tmp_path)
+        assert store.load(spec) == {"answer": 42}
+        # Counted as a hit (nothing recomputed) plus a migration; the
+        # entry now lives in its shard and the flat file is gone.
+        assert (store.hits, store.misses, store.migrated) == (1, 0, 1)
+        assert not flat.exists()
+        sharded = store.path(spec)
+        assert sharded.exists()
+        assert sharded.parent.name == shard_of(sharded.name)
+        envelope = json.loads(sharded.read_text())
+        assert envelope["version"] == STORE_VERSION
+        assert envelope["payload"] == {"answer": 42}
+
+    def test_migrated_entry_is_a_plain_hit_afterwards(self, tmp_path):
+        spec = flow_spec()
+        plant_legacy_flat(tmp_path, spec, {"x": 1})
+        store = ResultStore(tmp_path)
+        assert store.load(spec) == {"x": 1}
+        assert store.load(spec) == {"x": 1}
+        assert (store.hits, store.migrated) == (2, 1)
+
+    def test_flat_current_version_entry_migrates_too(self, tmp_path):
+        """A store written by pre-shard code at the current version
+        number (the unsharded spot inside the version directory)."""
+        spec = flow_spec()
+        store = ResultStore(tmp_path)
+        envelope = store._envelope(spec, {"y": 2})
+        flat = store.version_dir / "flow" / store.name(spec)
+        write_json_atomic(flat, envelope)
+        assert store.load(spec) == {"y": 2}
+        assert store.migrated == 1
+        assert not flat.exists()
+        assert store.path(spec).exists()
+
+    def test_wrong_key_legacy_entry_is_an_honest_miss(self, tmp_path):
+        # %g filename aliasing across the migration boundary: the
+        # legacy envelope's exact key must gate the migration.
+        a = flow_spec(precision=0.1234567)
+        b = flow_spec(precision=0.1234568)
+        flat = plant_legacy_flat(tmp_path, a, {"who": "a"})
+        store = ResultStore(tmp_path)
+        assert store.path(a).name == store.path(b).name
+        assert store.load(b) is None
+        assert store.misses == 1
+        assert flat.exists()  # left in place for its rightful owner
+
+    def test_unchecksummed_old_envelope_never_migrates(self, tmp_path):
+        """Only checksummed envelopes (v3+) are trusted for migration;
+        anything older cannot prove its payload is intact."""
+        spec = flow_spec()
+        flat = plant_legacy_flat(tmp_path, spec, {"x": 1})
+        envelope = json.loads(flat.read_text())
+        del envelope["checksum"]
+        flat.write_text(json.dumps(envelope))
+        store = ResultStore(tmp_path)
+        assert store.load(spec) is None
+        assert (store.misses, store.migrated) == (1, 0)
+
+    def test_contains_sees_legacy_entries(self, tmp_path):
+        spec = flow_spec()
+        store = ResultStore(tmp_path)
+        assert not store.contains(spec)
+        plant_legacy_flat(tmp_path, spec, {"x": 1})
+        assert store.contains(spec)
+        assert (store.hits, store.misses) == (0, 0)
+
+
+class TestFsckShards:
+    def test_fsck_rehomes_misplaced_entries(self, tmp_path):
+        spec = flow_spec()
+        store = ResultStore(tmp_path)
+        good = store.save(spec, {"x": 1})
+        # Strand a valid current-version envelope outside its shard.
+        stray = store.version_dir / "flow" / "wrong" / good.name
+        stray.parent.mkdir(parents=True)
+        stray.write_bytes(good.read_bytes())
+        report = store.fsck()
+        assert report["misplaced"] == [str(stray)]
+        assert not stray.exists()
+        assert report["quarantined"] == []
+
+    def test_fsck_dry_run_reports_misplaced_without_moving(self, tmp_path):
+        spec = flow_spec()
+        store = ResultStore(tmp_path)
+        good = store.save(spec, {"x": 1})
+        flat = store.version_dir / "flow" / good.name
+        flat.write_bytes(good.read_bytes())
+        report = store.fsck(repair=False)
+        assert report["misplaced"] == [str(flat)]
+        assert flat.exists()
+
+    def test_fsck_counts_pending_legacy_entries(self, tmp_path):
+        plant_legacy_flat(tmp_path, flow_spec(), {"x": 1})
+        store = ResultStore(tmp_path)
+        report = store.fsck(repair=False)
+        assert report["legacy"] == 1
+
+    def test_fsck_covers_sharded_corruption(self, tmp_path):
+        store = ResultStore(tmp_path)
+        bad = store.save(flow_spec(), {"x": 1})
+        bad.write_text("{ torn")
+        report = store.fsck()
+        assert report["quarantined"] == [str(bad)]
+        assert list(store.quarantine_dir.rglob("*.json"))
+
+
+class TestGc:
+    def test_gc_migrates_then_drops_superseded_versions(self, tmp_path):
+        good = flow_spec()
+        flat = plant_legacy_flat(tmp_path, good, {"keep": 1})
+        # A torn previous-version entry and an ancient version both
+        # just get dropped.
+        torn = flat.parent / "torn.json"
+        torn.write_text("{ nope")
+        ancient = tmp_path / "v1" / "flow" / "old.json"
+        write_json_atomic(ancient, {"version": 1, "payload": {}})
+        store = ResultStore(tmp_path)
+        report = store.gc()
+        assert report["migrated"] == 1
+        assert sorted(report["dropped"]) == sorted(
+            [str(torn), str(ancient)]
+        )
+        assert not (tmp_path / f"v{STORE_VERSION - 1}").exists()
+        assert not (tmp_path / "v1").exists()
+        # The migrated entry serves as a plain sharded hit.
+        assert store.load(good) == {"keep": 1}
+        assert store.misses == 0
+
+    def test_gc_dry_run_touches_nothing(self, tmp_path):
+        flat = plant_legacy_flat(tmp_path, flow_spec(), {"keep": 1})
+        store = ResultStore(tmp_path)
+        report = store.gc(dry_run=True)
+        assert report["migrated"] == 1
+        assert flat.exists()
+        assert not store.path(flow_spec()).exists()
+
+    def test_gc_never_touches_the_current_version(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save(flow_spec(), {"x": 1})
+        report = store.gc()
+        assert path.exists()
+        assert report["dropped"] == []
+
+    def test_gc_prefers_the_already_migrated_copy(self, tmp_path):
+        spec = flow_spec()
+        flat = plant_legacy_flat(tmp_path, spec, {"stale": True})
+        store = ResultStore(tmp_path)
+        store.save(spec, {"fresh": True})  # recomputed meanwhile
+        report = store.gc()
+        assert report["migrated"] == 0
+        assert report["dropped"] == [str(flat)]
+        assert store.load(spec) == {"fresh": True}
+
+
+class TestGetOrBegin:
+    def test_leader_claims_then_finishes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = flow_spec()
+        payload, leader = store.get_or_begin(spec)
+        assert payload is None and leader
+        assert store.in_flight() == 1
+        store.save(spec, {"x": 1})
+        store.finish(spec)
+        assert store.in_flight() == 0
+        payload, leader = store.get_or_begin(spec)
+        assert payload == {"x": 1} and not leader
+
+    def test_waiters_count_as_deduped_not_hits_or_misses(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = flow_spec()
+        assert store.get_or_begin(spec) == (None, True)
+        for _ in range(3):
+            assert store.get_or_begin(spec) == (None, False)
+        assert store.deduped == 3
+        assert (store.hits, store.misses) == (0, 1)  # only the leader
+        store.finish(spec)
+
+    def test_finish_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = flow_spec()
+        store.finish(spec)  # never claimed: a no-op
+        store.get_or_begin(spec)
+        store.finish(spec)
+        store.finish(spec)
+        assert store.in_flight() == 0
+
+    def test_distinct_specs_do_not_dedup_each_other(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get_or_begin(flow_spec()) == (None, True)
+        assert store.get_or_begin(flow_spec(precision=1e-2)) == (
+            None, True,
+        )
+        assert store.deduped == 0
+
+    def test_concurrent_burst_elects_exactly_one_leader(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = flow_spec()
+        outcomes = []
+        barrier = threading.Barrier(8)
+
+        def probe():
+            barrier.wait()
+            outcomes.append(store.get_or_begin(spec))
+
+        threads = [threading.Thread(target=probe) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        leaders = [began for _, began in outcomes if began]
+        assert len(leaders) == 1
+        assert store.deduped == 7
+        assert store.misses == 1
+
+    def test_stats_snapshot_round_trips(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.load(flow_spec())  # one miss
+        stats = store.stats()
+        assert isinstance(stats, StoreStats)
+        assert stats.misses == 1
+        assert StoreStats.from_payload(stats.to_payload()) == stats

@@ -1,0 +1,206 @@
+"""The HTTP front door: every refusal is a structured 4xx and the
+executor is never touched by a request that fails validation."""
+
+import asyncio
+import json
+import socket
+
+import pytest
+
+from repro.server import HTTPError, read_request
+from repro.server.http import MAX_HEADER_BYTES
+
+from .conftest import tune_job
+
+
+def raw_exchange(server, payload: bytes) -> bytes:
+    """One raw TCP round trip (for requests no sane client would send)."""
+    with socket.create_connection(
+        (server.host, server.port), timeout=10
+    ) as sock:
+        sock.sendall(payload)
+        sock.shutdown(socket.SHUT_WR)
+        chunks = []
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                return b"".join(chunks)
+            chunks.append(data)
+
+
+def error_of(response) -> dict:
+    body = response.json
+    assert body is not None and "error" in body, body
+    assert body["error"]["status"] == response.status
+    return body["error"]
+
+
+class TestRejections:
+    def test_malformed_json_is_400_and_pool_untouched(
+        self, client, worker
+    ):
+        response = client.post_raw(b"{ not json")
+        assert response.status == 400
+        assert "not valid JSON" in error_of(response)["message"]
+        assert worker.calls == []
+
+    def test_non_object_body_is_400(self, client, worker):
+        response = client.post_raw(b"[1, 2, 3]")
+        assert response.status == 400
+        assert worker.calls == []
+
+    def test_unknown_kind_is_422(self, client, worker):
+        response = client.post_job(tune_job(kind="magic"))
+        assert response.status == 422
+        assert "unknown job kind" in error_of(response)["message"]
+        assert worker.calls == []
+
+    def test_unknown_app_scale_ts_strategy_are_422(self, client, worker):
+        for bad in (
+            tune_job(app="nope"),
+            tune_job(scale="galactic"),
+            tune_job(type_system="V9"),
+            tune_job(strategy="wishful"),
+            tune_job(precision="many"),
+        ):
+            response = client.post_job(bad)
+            assert response.status == 422, bad
+        assert worker.calls == []
+
+    def test_unknown_report_variant_is_422(self, client, worker):
+        response = client.post_job(
+            {"kind": "report", "app": "conv", "variant": "imaginary"}
+        )
+        assert response.status == 422
+        assert "variant" in error_of(response)["message"]
+        assert worker.calls == []
+
+    def test_unknown_field_is_422(self, client, worker):
+        response = client.post_job(tune_job(frobnicate=True))
+        assert response.status == 422
+        assert "frobnicate" in error_of(response)["message"]
+        assert worker.calls == []
+
+    def test_invalid_spec_combination_is_422(self, client, worker):
+        # cores on a non-cluster job: JobSpec itself refuses.
+        response = client.post_job(tune_job(cores=4))
+        assert response.status == 422
+        assert worker.calls == []
+
+    def test_oversized_body_is_413_before_any_read(
+        self, make_server, worker
+    ):
+        from repro.server import ServerClient
+
+        small = make_server(max_body=256)
+        with ServerClient(small.host, small.port) as client:
+            response = client.post_raw(b"x" * 1024)
+        assert response.status == 413
+        assert worker.calls == []
+
+    def test_unknown_endpoint_is_404(self, client):
+        assert client._request("GET", "/nope").status == 404
+        assert client._request("POST", "/nope").status == 404
+
+    def test_unknown_method_is_405(self, client):
+        assert client._request("DELETE", "/jobs").status == 405
+
+    def test_unknown_job_id_is_404(self, client):
+        assert client.get_job("no-such-job").status == 404
+
+    def test_malformed_request_line_is_400(self, server):
+        raw = raw_exchange(server, b"WHAT\r\n\r\n")
+        assert raw.startswith(b"HTTP/1.1 400 ")
+
+    def test_oversized_header_is_431(self, server):
+        head = (
+            b"GET /healthz HTTP/1.1\r\nX-Pad: "
+            + b"y" * (MAX_HEADER_BYTES + 1024)
+            + b"\r\n\r\n"
+        )
+        raw = raw_exchange(server, head)
+        assert raw.startswith(b"HTTP/1.1 431 ")
+
+    def test_bad_content_length_is_400(self, server):
+        raw = raw_exchange(
+            server,
+            b"POST /jobs HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+        )
+        assert raw.startswith(b"HTTP/1.1 400 ")
+
+    def test_bad_requests_are_counted(self, client):
+        before = client.stats().json["server"]["bad_requests"]
+        client.post_raw(b"{")
+        client.post_job(tune_job(kind="magic"))
+        after = client.stats().json["server"]["bad_requests"]
+        assert after == before + 2
+
+
+class TestParser:
+    """Unit-level checks on the request parser (no server needed)."""
+
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def feed(self, data: bytes) -> asyncio.StreamReader:
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return reader
+
+    def test_round_trip(self):
+        body = json.dumps({"kind": "flow"}).encode()
+        raw = (
+            b"POST /jobs?wait=false HTTP/1.1\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"X-Custom: yes\r\n\r\n" + body
+        )
+
+        async def parse():
+            return await read_request(self.feed(raw))
+
+        request = self.run(parse())
+        assert request.method == "POST"
+        assert request.segments == ("jobs",)
+        assert request.query == {"wait": "false"}
+        assert request.header("x-custom") == "yes"
+        assert request.json() == {"kind": "flow"}
+        assert request.keep_alive
+
+    def test_clean_eof_is_none(self):
+        async def parse():
+            return await read_request(self.feed(b""))
+
+        assert self.run(parse()) is None
+
+    def test_content_length_is_checked_before_the_body_is_read(self):
+        # Only the head is fed; a parser that tried to read the body
+        # first would wait forever instead of refusing.
+        raw = (
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n"
+        )
+
+        async def parse():
+            return await read_request(self.feed(raw), max_body=1024)
+
+        with pytest.raises(HTTPError) as err:
+            self.run(parse())
+        assert err.value.status == 413
+
+    def test_truncated_body_is_400(self):
+        raw = b"POST /jobs HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"
+
+        async def parse():
+            return await read_request(self.feed(raw))
+
+        with pytest.raises(HTTPError) as err:
+            self.run(parse())
+        assert err.value.status == 400
+
+    def test_connection_close_disables_keep_alive(self):
+        raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"
+
+        async def parse():
+            return await read_request(self.feed(raw))
+
+        assert not self.run(parse()).keep_alive
