@@ -1,7 +1,17 @@
 """``python -m repro`` entry point."""
 
+import os
 import sys
 
 from .cli import main
 
-sys.exit(main())
+try:
+    code = main()
+    sys.stdout.flush()
+except BrokenPipeError:
+    # The reader went away (``repro trace latest | head``); exit
+    # quietly, parking stdout on devnull so the interpreter's final
+    # flush cannot raise a second time.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    code = 0
+sys.exit(code)

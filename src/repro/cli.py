@@ -38,6 +38,12 @@ Examples::
     # per-instruction oracle loops -- results are bit-identical.
     python -m repro table1 --engine legacy
     REPRO_ENGINE=legacy python -m repro all
+
+    # Telemetry: trace a campaign end to end (spans land as NDJSON
+    # under results/telemetry/), then replay the time breakdown:
+    python -m repro run --scale tiny --jobs 2 --telemetry
+    REPRO_TELEMETRY=1 python -m repro serve --port 8765
+    python -m repro trace latest
 """
 
 from __future__ import annotations
@@ -67,6 +73,7 @@ from repro.hardware import fpu as fpu_model
 from repro.hardware import set_engine
 from repro.hardware.engine import ENGINES
 from repro.hardware.engine import ENV_VAR as ENGINE_ENV_VAR
+from repro import telemetry as _telemetry
 from repro.session import Session
 from repro.tuning import (
     V2,
@@ -390,7 +397,22 @@ def _serve_cli(argv: list[str]) -> int:
         action="store_true",
         help="suppress the per-request log lines",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help=(
+            "enable structured tracing: request/job spans land as "
+            "NDJSON under results/telemetry/; equivalent to "
+            f"{_telemetry.ENV_VAR}=1"
+        ),
+    )
     args = parser.parse_args(argv)
+    # Before the server builds: its request-latency histogram and the
+    # workers' trace propagation both key off enabled() at init time.
+    if args.telemetry:
+        _telemetry.enable()
+    else:
+        _telemetry.enable_from_env()
     session = Session(
         backend=args.backend,
         cache_dir=args.cache_dir,
@@ -432,6 +454,48 @@ def _serve_cli(argv: list[str]) -> int:
         asyncio.run(_main())
     except KeyboardInterrupt:
         pass  # signal handler unavailable; plain interrupt
+    if _telemetry.enabled():
+        _telemetry.flush()
+        path = _telemetry.trace_path()
+        if path is not None and path.exists():
+            emit(
+                f"telemetry: trace {_telemetry.trace_id()} -> {path} "
+                "(replay: repro trace latest)"
+            )
+    return 0
+
+
+def _trace_cli(argv: list[str]) -> int:
+    """The ``repro trace`` verb: replay a telemetry trace breakdown."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description=(
+            "Replay an NDJSON telemetry trace (written by --telemetry / "
+            f"{_telemetry.ENV_VAR}=1 runs) as a per-phase time "
+            "breakdown with sampled top time sinks."
+        ),
+    )
+    parser.add_argument(
+        "run",
+        nargs="?",
+        default="latest",
+        help=(
+            "trace file path, trace id (or unambiguous prefix), or "
+            "'latest' (default: the newest trace)"
+        ),
+    )
+    parser.add_argument(
+        "--dir",
+        default=None,
+        help="trace directory (default: ./results/telemetry)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        path = _telemetry.resolve_trace(args.run, args.dir)
+    except (FileNotFoundError, ValueError) as err:
+        emit(f"repro trace: {err}")
+        return 1
+    print(_telemetry.render_trace(_telemetry.load_records(path), path))
     return 0
 
 
@@ -614,6 +678,8 @@ def main(argv: list[str] | None = None) -> int:
         return _lint_cli(argv[1:])
     if argv and argv[0] == "static":
         return _static_cli(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_cli(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -767,9 +833,23 @@ def main(argv: list[str] | None = None) -> int:
             "environment variable"
         ),
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help=(
+            "enable structured tracing + profiling: spans land as "
+            "NDJSON under results/telemetry/ (replay with 'repro "
+            f"trace'); equivalent to {_telemetry.ENV_VAR}=1; results "
+            "are byte-identical either way"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.engine is not None:
         set_engine(args.engine)
+    if args.telemetry:
+        _telemetry.enable()
+    else:
+        _telemetry.enable_from_env()
 
     if args.list_strategies:
         if "tune" not in args.experiments:
@@ -856,6 +936,14 @@ def main(argv: list[str] | None = None) -> int:
             print(driver.render(result))
         elapsed = time.time() - start
         print(f"\n[{name} done in {elapsed:.1f}s]\n")
+    if _telemetry.enabled():
+        _telemetry.flush()
+        path = _telemetry.trace_path()
+        if path is not None and path.exists():
+            emit(
+                f"telemetry: trace {_telemetry.trace_id()} -> {path} "
+                "(replay: repro trace latest)"
+            )
     return exit_code
 
 

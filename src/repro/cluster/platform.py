@@ -36,6 +36,8 @@ from repro.hardware import (
     simulate_program_timing,
 )
 
+from repro.telemetry import span as _span
+
 from .config import ClusterConfig
 from .engine import simulate_cluster_timing
 
@@ -188,6 +190,20 @@ class ClusterPlatform:
                 f"{self.config.n_cores}-core cluster needs one program "
                 f"per core, got {len(programs)}"
             )
+        with _span("cluster.run") as sp:
+            if sp is not None:
+                sp.attrs["cores"] = self.config.n_cores
+                sp.attrs["program"] = (
+                    name if name is not None else programs[0].name
+                )
+            return self._run_cores(programs, name, serial_cycles)
+
+    def _run_cores(
+        self,
+        programs: list[Program],
+        name: str | None,
+        serial_cycles: int | None,
+    ) -> ClusterReport:
         results = simulate_cluster_timing(
             [program.instrs for program in programs],
             self.config,

@@ -39,6 +39,7 @@ from pathlib import Path
 from repro.core import FPFormat, Stats
 from repro.hardware import Program, RunReport, VirtualPlatform
 from repro.session import Session, get_session
+from repro.telemetry import span as _span
 from repro.tuning import (
     DEFAULT_STRATEGY,
     TuningProblem,
@@ -274,26 +275,40 @@ class TransprecisionFlow:
     def run(self, input_id: int = 0) -> FlowResult:
         """Steps 2-5 for one input set, all under the flow's session."""
         session = self._session()
-        with session:
-            tuning = self.tune()
-            binding = tuning.storage_binding(self.type_system)  # step 3
+        with _span(
+            "flow.run",
+            app=self.app.name,
+            type_system=self.type_system.name,
+            precision=self.precision,
+        ):
+            with session:
+                with _span("flow.tune"):  # steps 2+3
+                    tuning = self.tune()
+                    binding = tuning.storage_binding(self.type_system)
 
-            stats = Stats()  # step 4
-            with session.collect(stats):
-                self.app.run_numeric(binding, input_id)
+                stats = Stats()  # step 4
+                with _span("flow.stats"):
+                    with session.collect(stats):
+                        self.app.run_numeric(binding, input_id)
 
-            baseline = self.app.build_program(  # step 5: binary32 baseline
-                self.app.baseline_binding(), input_id, vectorize=False
-            )
-            tuned = self.app.build_program(binding, input_id, vectorize=True)
-            return FlowResult(
-                app=self.app.name,
-                type_system=self.type_system.name,
-                precision=self.precision,
-                strategy=self.strategy_name,
-                tuning=tuning,
-                binding=binding,
-                stats=stats,
-                baseline_report=self.platform.run(baseline),
-                tuned_report=self.platform.run(tuned),
-            )
+                baseline = self.app.build_program(  # step 5 inputs
+                    self.app.baseline_binding(), input_id, vectorize=False
+                )
+                tuned = self.app.build_program(
+                    binding, input_id, vectorize=True
+                )
+                with _span("flow.baseline"):
+                    baseline_report = self.platform.run(baseline)
+                with _span("flow.tuned"):
+                    tuned_report = self.platform.run(tuned)
+                return FlowResult(
+                    app=self.app.name,
+                    type_system=self.type_system.name,
+                    precision=self.precision,
+                    strategy=self.strategy_name,
+                    tuning=tuning,
+                    binding=binding,
+                    stats=stats,
+                    baseline_report=baseline_report,
+                    tuned_report=tuned_report,
+                )

@@ -18,6 +18,8 @@ from .columnar import (
     simulate_program_timing,
     uses_default_energy_rules,
 )
+from repro.telemetry import span as _span
+
 from .cpu import Timing
 from .energy import DEFAULT_ENERGY_MODEL, EnergyBreakdown, EnergyModel
 from .engine import active_engine
@@ -265,5 +267,13 @@ class VirtualPlatform:
         Uses the active replay engine (columnar by default, legacy
         under ``REPRO_ENGINE=legacy``); results are bit-identical.
         """
-        timing = simulate_program_timing(program, self._fp_latency_override)
-        return assemble_report(program, timing, self._energy)
+        with _span("platform.run") as sp:
+            timing = simulate_program_timing(
+                program, self._fp_latency_override
+            )
+            report = assemble_report(program, timing, self._energy)
+            if sp is not None:
+                sp.attrs["program"] = program.name
+                sp.attrs["instructions"] = len(program.instrs)
+                sp.attrs["engine"] = active_engine()
+        return report

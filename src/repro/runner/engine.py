@@ -49,10 +49,12 @@ round-trip through the store is unchanged.
 
 from __future__ import annotations
 
+import os
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
@@ -62,6 +64,8 @@ from repro.cluster import ClusterReport
 from repro.flow import FlowResult
 from repro.hardware import RunReport
 from repro.session import Session
+from repro.telemetry import global_registry, profile_scope
+from repro.telemetry import trace as _trace
 from repro.tuning import (
     TypeSystem,
     register_type_system,
@@ -187,13 +191,41 @@ class CampaignError(RuntimeError):
 
 @dataclass(frozen=True)
 class LedgerEvent:
-    """One journal entry: what happened to which job, when."""
+    """One journal entry: what happened to which job, when.
+
+    ``trace_id``/``span_id`` correlate the event with the telemetry
+    trace that was active when it was recorded (None when telemetry is
+    off -- and for every ledger payload written before they existed).
+    """
 
     event: str  #: attempt | retry | timeout | failure | pool_broken |
     #: serial_fallback | corrupt
     job: str = ""
     attempt: int = 0
     detail: str = ""
+    trace_id: "str | None" = None
+    span_id: "str | None" = None
+
+    def to_payload(self) -> dict:
+        return {
+            "event": self.event,
+            "job": self.job,
+            "attempt": self.attempt,
+            "detail": self.detail,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "LedgerEvent":
+        return cls(
+            event=payload["event"],
+            job=payload.get("job", ""),
+            attempt=payload.get("attempt", 0),
+            detail=payload.get("detail", ""),
+            trace_id=payload.get("trace_id"),
+            span_id=payload.get("span_id"),
+        )
 
 
 @dataclass
@@ -213,15 +245,34 @@ class RunLedger:
         spec: "JobSpec | None" = None,
         attempt: int = 0,
         detail: str = "",
+        trace_id: "str | None" = None,
+        span_id: "str | None" = None,
     ) -> LedgerEvent:
+        if trace_id is None and span_id is None:
+            # Stamp the active trace context (both stay None when
+            # telemetry is off); an explicit pair -- the server
+            # recording from its event loop -- wins.
+            trace_id, span_id = _trace.current_ids()
         entry = LedgerEvent(
             event,
             spec.describe() if spec is not None else "",
             attempt,
             detail,
+            trace_id,
+            span_id,
         )
         self.events.append(entry)
         return entry
+
+    def to_payload(self) -> dict:
+        return {"events": [event.to_payload() for event in self.events]}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RunLedger":
+        return cls(events=[
+            LedgerEvent.from_payload(event)
+            for event in payload["events"]
+        ])
 
     def count(self, event: str) -> int:
         return sum(1 for e in self.events if e.event == event)
@@ -279,7 +330,37 @@ def execute_job(runner_spec: dict, job: JobSpec, attempt: int = 0) -> dict:
     first-attempt crash deterministically spares the retry.  This is
     also the only site where injected crashes/hangs can fire: the
     parent process and the serial fallback never pass through here.
+
+    When the runner spec carries a telemetry payload, the worker joins
+    the campaign's trace: a ``worker.job`` span (parented under the
+    campaign root or the server's job span) wraps the body, and the
+    sampling profiler attributes its wall time.  The ``worker.job``
+    span only exists when the payload crossed a process boundary -- for
+    in-process executors (the server's thread pool, the serial path)
+    the caller's ``server.job`` / ``runner.job`` span already times the
+    same interval, and the duplicate would tax every warm store hit.
+    Telemetry never touches the returned payload -- it is the same
+    bytes either way.
     """
+    telemetry_ctx = runner_spec.get("telemetry")
+    crossed = (
+        telemetry_ctx is not None
+        and telemetry_ctx.get("pid") != os.getpid()
+    )
+    with _trace.worker_scope(telemetry_ctx):
+        with (
+            _trace.span("worker.job", job=job.describe(), attempt=attempt)
+            if crossed
+            else nullcontext()
+        ):
+            label = job.describe() if _trace.enabled() else ""
+            with profile_scope(label=label):
+                return _execute_job_body(runner_spec, job, attempt)
+
+
+def _execute_job_body(
+    runner_spec: dict, job: JobSpec, attempt: int = 0
+) -> dict:
     start = time.perf_counter()
     # Register the campaign's type systems: a spawn-started worker has a
     # fresh registry holding only the built-ins (idempotent under fork).
@@ -404,6 +485,27 @@ class ExperimentRunner:
         self._memo: dict[JobSpec, object] = {}
         self._sleep = time.sleep  # injectable for tests
         self._last_attempts = 1  # attempts behind the latest serial raise
+        # Registry instruments exist only under telemetry: the disabled
+        # hot path registers nothing (asserted by tests).
+        self._job_seconds = None
+        if _trace.enabled():
+            registry = global_registry()
+            counters = self.counters
+            for name in (
+                "memo_hits", "store_hits", "computed",
+                "corrupt", "retried", "failed",
+            ):
+                registry.gauge(
+                    f"repro_runner_{name}",
+                    fn=lambda n=name, c=counters: getattr(c, n),
+                    group="runner",
+                    short=name,
+                )
+            self._job_seconds = registry.histogram(
+                "repro_runner_job_seconds",
+                group="runner",
+                short="job_seconds",
+            )
 
     # ------------------------------------------------------------------
     # Grid materialization
@@ -549,36 +651,40 @@ class ExperimentRunner:
         done = 0
         total = len(ordered)
 
-        for spec in ordered:
-            if spec in self._memo:
-                results[spec] = self._memo[spec]
-                self.counters.memo_hits += 1
-                done += 1
-                self._report_progress(done, total, spec, "memo", 0.0)
-                continue
-            payload = self._store_load(spec)
-            if payload is not None:
-                result = self._decode(spec, payload)
-                self._memo[spec] = result
-                results[spec] = result
-                self.counters.store_hits += 1
-                done += 1
-                self._report_progress(done, total, spec, "hit", 0.0)
-                continue
-            pending.append(spec)
+        with _trace.span("runner.run") as root:
+            if root is not None:
+                root.attrs["jobs"] = total
+                root.attrs["workers"] = self.jobs
+            for spec in ordered:
+                if spec in self._memo:
+                    results[spec] = self._memo[spec]
+                    self.counters.memo_hits += 1
+                    done += 1
+                    self._report_progress(done, total, spec, "memo", 0.0)
+                    continue
+                payload = self._store_load(spec)
+                if payload is not None:
+                    result = self._decode(spec, payload)
+                    self._memo[spec] = result
+                    results[spec] = result
+                    self.counters.store_hits += 1
+                    done += 1
+                    self._report_progress(done, total, spec, "hit", 0.0)
+                    continue
+                pending.append(spec)
 
-        if pending:
-            if self.jobs <= 1:
-                done = self._run_serial(
-                    pending, results, failures, done, total
-                )
-            else:
-                done = self._run_parallel(
-                    pending, results, failures, done, total
-                )
+            if pending:
+                if self.jobs <= 1:
+                    done = self._run_serial(
+                        pending, results, failures, done, total
+                    )
+                else:
+                    done = self._run_parallel(
+                        pending, results, failures, done, total
+                    )
 
-        if failures and self.strict:
-            raise CampaignError(failures)
+            if failures and self.strict:
+                raise CampaignError(failures)
         return results
 
     # ------------------------------------------------------------------
@@ -635,8 +741,11 @@ class ExperimentRunner:
         while True:
             self.ledger.record("attempt", spec, attempt)
             try:
-                with faults.job_context(attempt):
-                    return self._compute_and_store(spec)
+                with _trace.span(
+                    "runner.job", job=spec.describe(), attempt=attempt
+                ):
+                    with faults.job_context(attempt):
+                        return self._compute_and_store(spec)
             except Exception as exc:  # noqa: BLE001 - classified below
                 if (
                     self.retry.retriable(exc)
@@ -935,6 +1044,9 @@ class ExperimentRunner:
             "type_systems": [
                 type_system(name).to_payload() for name in sorted(ts_names)
             ],
+            # None when telemetry is off; otherwise the trace context
+            # workers adopt so the whole grid lands in one trace tree.
+            "telemetry": _trace.propagation_payload(),
         }
 
     def _store_load(self, spec: JobSpec):
@@ -992,6 +1104,8 @@ class ExperimentRunner:
     def _report_progress(
         self, index, total, spec: JobSpec, status: str, seconds: float
     ) -> None:
+        if self._job_seconds is not None and status == "run":
+            self._job_seconds.observe(seconds)
         if self.progress is not None:
             self.progress(
                 index if index is not None else 0,

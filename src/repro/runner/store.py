@@ -52,6 +52,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro import faults
+from repro.telemetry import span as _span
 from repro.tuning.api import DEFAULT_STRATEGY
 from repro.util import clean_stale_temps, write_json_atomic
 
@@ -396,6 +397,16 @@ class ResultStore:
         never shadow the key forever.  A wrong-version or aliased-key
         envelope remains an honest miss and is left in place.
         """
+        with _span("store.load") as sp:
+            payload = self._load_impl(spec)
+            if sp is not None:
+                # Attrs only on the traced path: the warm-serve hot
+                # path computes nothing extra when telemetry is off.
+                sp.attrs["job"] = spec.describe()
+                sp.attrs["hit"] = payload is not None
+            return payload
+
+    def _load_impl(self, spec: JobSpec) -> dict | None:
         path = self.path(spec)
         try:
             # Injected transient read failures degrade to a miss: the
@@ -557,21 +568,25 @@ class ResultStore:
         second mismatch raises ``OSError``, which the runner treats as
         transient and retries.
         """
-        path = self.path(spec)
-        envelope = self._envelope(spec, payload)
-        # Injected transient write failures propagate: save-side faults
-        # must be loud so the runner's retry machinery owns them.
-        faults.maybe_io_error("store-save", path.stem)
-        write_json_atomic(path, envelope)
-        faults.maybe_corrupt_file(path, path.stem)
-        if self.verify_writes and not self._verify(path, envelope):
-            self.repaired += 1
+        with _span("store.save") as sp:
+            path = self.path(spec)
+            envelope = self._envelope(spec, payload)
+            # Injected transient write failures propagate: save-side
+            # faults must be loud so the runner's retry machinery owns
+            # them.
+            faults.maybe_io_error("store-save", path.stem)
             write_json_atomic(path, envelope)
-            if not self._verify(path, envelope):
-                raise OSError(
-                    f"store write verification failed twice for {path}"
-                )
-        return path
+            faults.maybe_corrupt_file(path, path.stem)
+            if self.verify_writes and not self._verify(path, envelope):
+                self.repaired += 1
+                write_json_atomic(path, envelope)
+                if not self._verify(path, envelope):
+                    raise OSError(
+                        f"store write verification failed twice for {path}"
+                    )
+            if sp is not None:
+                sp.attrs["job"] = spec.describe()
+            return path
 
     def fsck(self, repair: bool = True) -> dict:
         """Audit (and with ``repair=True`` fix) every entry of this

@@ -55,6 +55,8 @@ from repro.runner import (
     payload_checksum,
 )
 from repro.session import Session
+from repro.telemetry import MetricsRegistry
+from repro.telemetry import trace as _trace
 from repro.tuning import resolve_strategy, type_system, type_system_names
 from repro.util import emit, status_line
 
@@ -69,7 +71,7 @@ from .http import (
     send_chunk,
     start_chunked,
 )
-from .stats import ServerStats
+from .stats import ServerStats, register_metrics
 
 __all__ = ["JobServer", "BackgroundServer", "JobRecord"]
 
@@ -102,9 +104,18 @@ class JobRecord:
         self.source = ""  #: "computed" | "store" once done
         self.error = ""
         self.seconds = 0.0
+        #: The job's ``server.job`` span (telemetry on, leader only).
+        #: Held off the thread-local span stack: job lifetimes
+        #: interleave freely on the event-loop thread.
+        self.span = None
+        self.trace_id: "str | None" = None
+        self.span_id: "str | None" = None
 
     def record(self, event: str, attempt: int = 0, detail: str = "") -> None:
-        self.ledger.record(event, self.spec, attempt, detail)
+        self.ledger.record(
+            event, self.spec, attempt, detail,
+            trace_id=self.trace_id, span_id=self.span_id,
+        )
         self.updated.set()
 
     def finish(self) -> None:
@@ -193,6 +204,23 @@ class JobServer:
             env=self.session.environment_fingerprint(),
         )
         self.stats = ServerStats()
+        # One registry feeds /stats (grouped JSON) and /metrics
+        # (exposition text); the two render the same instruments and
+        # cannot drift.
+        self.registry = MetricsRegistry()
+        register_metrics(self.registry, self.stats, self.store.stats)
+        # Request-latency histogram only when telemetry is on: the
+        # telemetry-off /stats and /metrics bodies predate the registry
+        # and must stay byte-stable.
+        self._request_seconds = (
+            self.registry.histogram(
+                "repro_server_request_seconds",
+                group="telemetry",
+                short="request_seconds",
+            )
+            if _trace.enabled()
+            else None
+        )
         # Fail fast on a session that cannot cross to workers.
         self._session_spec = self.session.spec()
         self._session_spec["cache_dir"] = str(self.cache_dir)
@@ -247,6 +275,7 @@ class JobServer:
             await asyncio.gather(*leftovers, return_exceptions=True)
         if self._executor is not None:
             self._executor.shutdown(wait=drain, cancel_futures=not drain)
+        _trace.flush()  # request/job spans are durable once we return
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -298,6 +327,12 @@ class JobServer:
                 return  # clean keep-alive close
             self.stats.requests += 1
             started = time.perf_counter()
+            # push=False: request lifetimes interleave across awaits on
+            # the one loop thread, so they stay off the context stack.
+            sp = _trace.start_span(
+                "server.request", push=False,
+                method=request.method, path=request.path,
+            )
             try:
                 status, close = await self._dispatch(request, writer)
             except HTTPError as err:
@@ -312,11 +347,17 @@ class JobServer:
                 )
                 status, close = err.status, not request.keep_alive
             except (ConnectionError, OSError):
+                if sp is not None:
+                    sp.attrs["error"] = "connection"
+                    _trace.end_span(sp)
                 return
-            self._log(
-                status, request.method, request.path,
-                time.perf_counter() - started,
-            )
+            elapsed = time.perf_counter() - started
+            if sp is not None:
+                sp.attrs["status"] = status
+                _trace.end_span(sp)
+            if self._request_seconds is not None:
+                self._request_seconds.observe(elapsed)
+            self._log(status, request.method, request.path, elapsed)
             if close or not request.keep_alive:
                 return
 
@@ -351,11 +392,7 @@ class JobServer:
             )
         if segments == ("stats",):
             return await self._respond_json(
-                writer, request, 200,
-                {
-                    "server": self.stats.to_payload(),
-                    "store": self.store.stats().to_payload(),
-                },
+                writer, request, 200, self.registry.grouped_snapshot()
             )
         if segments == ("metrics",):
             await self._write(
@@ -399,6 +436,12 @@ class JobServer:
             )
         if leader:
             record = JobRecord(job_id, spec)
+            record.span = _trace.start_span(
+                "server.job", push=False, job=spec.describe()
+            )
+            if record.span is not None:
+                record.trace_id = record.span.trace_id
+                record.span_id = record.span.span_id
             self._jobs[job_id] = record
             self.stats.in_flight += 1
             task = self._loop.create_task(self._compute(record))
@@ -516,12 +559,7 @@ class JobServer:
             events = record.ledger.events
             while index < len(events):
                 event = events[index]
-                line = json.dumps({
-                    "event": event.event,
-                    "job": event.job,
-                    "attempt": event.attempt,
-                    "detail": event.detail,
-                }) + "\n"
+                line = json.dumps(event.to_payload()) + "\n"
                 await self._write(writer, send_chunk(line.encode()))
                 index += 1
             if record.done.is_set() and index >= len(record.ledger.events):
@@ -550,7 +588,9 @@ class JobServer:
         is released in ``finally`` no matter how the attempt ends, so a
         failure can never wedge the key for later requests.
         """
-        runner_spec = self._runner_spec(record.spec)
+        runner_spec = self._runner_spec(
+            record.spec, parent_span_id=record.span_id
+        )
         attempt = 0
         try:
             while True:
@@ -596,10 +636,20 @@ class JobServer:
         finally:
             self.store.finish(record.spec)
             self.stats.in_flight -= 1
+            if record.span is not None:
+                record.span.attrs["source"] = record.source or "failed"
+                _trace.end_span(record.span)
             record.finish()
 
-    def _runner_spec(self, spec: JobSpec) -> dict:
+    def _runner_spec(
+        self, spec: JobSpec, parent_span_id: "str | None" = None
+    ) -> dict:
         ts_names = {spec.type_system} if spec.type_system else set()
+        telemetry = _trace.propagation_payload()
+        if telemetry is not None:
+            # Worker spans parent under this job's server.job span, not
+            # under whatever happens to be open on the loop thread.
+            telemetry["parent_span_id"] = parent_span_id
         return {
             "session": dict(self._session_spec),
             "store_root": str(self.store.root),
@@ -609,6 +659,7 @@ class JobServer:
                 type_system(name).to_payload()
                 for name in sorted(ts_names)
             ],
+            "telemetry": telemetry,
         }
 
     # ------------------------------------------------------------------
@@ -723,13 +774,13 @@ class JobServer:
     # Introspection
     # ------------------------------------------------------------------
     def metrics_text(self) -> str:
-        """Prometheus-style rendering of server + store counters."""
-        lines = []
-        for name, value in self.stats.to_payload().items():
-            lines.append(f"repro_server_{name} {value}")
-        for name, value in self.store.stats().to_payload().items():
-            lines.append(f"repro_store_{name} {value}")
-        return "\n".join(lines) + "\n"
+        """Prometheus-style rendering of the server's registry.
+
+        Byte-identical to the pre-registry hand-rolled renderer when
+        telemetry is off; with telemetry on, the request-latency
+        histogram series joins the same exposition.
+        """
+        return self.registry.render()
 
 
 class BackgroundServer:

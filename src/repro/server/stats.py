@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["ServerStats"]
+__all__ = ["ServerStats", "register_metrics"]
 
 
 @dataclass
@@ -60,4 +60,35 @@ class ServerStats:
             deduped=payload["deduped"],
             failed=payload["failed"],
             in_flight=payload["in_flight"],
+        )
+
+
+def register_metrics(registry, stats: ServerStats, store_stats) -> None:
+    """Mirror server + store counters into a metrics registry.
+
+    Every field becomes a callback :class:`~repro.telemetry.Gauge`
+    reading the live counter -- no double bookkeeping, and ``/stats``
+    (the registry's grouped snapshot) can never drift from ``/metrics``
+    (its exposition rendering).  Registration follows ``to_payload``
+    order, which keeps the rendered ``repro_server_*`` /
+    ``repro_store_*`` lines byte-compatible with the pre-registry
+    renderer.
+
+    ``store_stats`` is a zero-argument callable returning the store's
+    current :class:`~repro.runner.store.StoreStats` (the store rebuilds
+    its stats object, so gauges must re-fetch per read).
+    """
+    for name in stats.to_payload():
+        registry.gauge(
+            f"repro_server_{name}",
+            fn=lambda n=name: getattr(stats, n),
+            group="server",
+            short=name,
+        )
+    for name in store_stats().to_payload():
+        registry.gauge(
+            f"repro_store_{name}",
+            fn=lambda n=name: store_stats().to_payload()[n],
+            group="store",
+            short=name,
         )

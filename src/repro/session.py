@@ -59,6 +59,7 @@ from .core.context import (
 from .core.context import use_backend as _use_backend
 from .core.formats import STANDARD_FORMATS, FPFormat
 from .core.stats import Stats
+from .telemetry import span as _span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .cluster import ClusterPlatform
@@ -209,8 +210,9 @@ class Session:
         """
         if stats is None:
             stats = Stats()
-        with install_collector(self._context, stats):
-            yield stats
+        with _span("session.collect"):
+            with install_collector(self._context, stats):
+                yield stats
 
     @contextmanager
     def vectorizable(self) -> Iterator[None]:

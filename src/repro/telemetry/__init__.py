@@ -1,0 +1,83 @@
+"""Unified telemetry: metrics registry, structured tracing, profiling.
+
+Three pillars, all strictly out-of-band (results are byte-identical
+with telemetry on or off):
+
+- :mod:`repro.telemetry.metrics` -- named counters/gauges/histograms in
+  a :class:`MetricsRegistry` with one canonical Prometheus-exposition
+  renderer (the server's ``/metrics`` and ``/stats`` both read it).
+- :mod:`repro.telemetry.trace` -- :func:`span` context managers export
+  an NDJSON trace tree under ``results/telemetry/``; pool workers join
+  the campaign trace via :func:`propagation_payload` /
+  :func:`worker_scope`.  Off by default; opt in with ``--telemetry`` or
+  ``REPRO_TELEMETRY=1``.
+- :mod:`repro.telemetry.profiler` -- a sampling wall-time profiler
+  around worker job bodies reports top time sinks into the same trace.
+
+``repro trace <run>`` (see :mod:`repro.telemetry.report`) replays a
+trace file as a per-phase time breakdown.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+from .profiler import SamplingProfiler, profile_scope
+from .report import load_records, render_trace, resolve_trace, trace_summary
+from .trace import (
+    DIR_ENV_VAR,
+    ENV_VAR,
+    Span,
+    current_ids,
+    default_export_dir,
+    disable,
+    enable,
+    enable_from_env,
+    enabled,
+    end_span,
+    flush,
+    propagation_payload,
+    span,
+    start_span,
+    trace_id,
+    trace_path,
+    worker_scope,
+    write_record,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+    "SamplingProfiler",
+    "profile_scope",
+    "load_records",
+    "render_trace",
+    "resolve_trace",
+    "trace_summary",
+    "DIR_ENV_VAR",
+    "ENV_VAR",
+    "Span",
+    "current_ids",
+    "default_export_dir",
+    "disable",
+    "enable",
+    "enable_from_env",
+    "enabled",
+    "end_span",
+    "flush",
+    "propagation_payload",
+    "span",
+    "start_span",
+    "trace_id",
+    "trace_path",
+    "worker_scope",
+    "write_record",
+]

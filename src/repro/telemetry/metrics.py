@@ -1,0 +1,282 @@
+"""The process-wide metrics registry: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` holds named instruments and renders them in
+the Prometheus text exposition format (version 0.0.4, values only -- no
+HELP/TYPE comments, matching the pre-registry ``/metrics`` bytes).  The
+job server builds its own registry over its :class:`ServerStats` and
+store counters; everything else (runner counters, job-latency
+histograms) registers on the process-global registry returned by
+:func:`global_registry` -- and only does so when telemetry is enabled,
+so a telemetry-off run registers *zero* instruments on the hot path.
+
+Instruments are get-or-create by name: asking twice for the same name
+returns the same instrument, asking for an existing name with a
+different instrument kind raises.  ``group``/``short`` metadata lets a
+registry render a grouped JSON snapshot (the server's ``/stats`` body)
+from the same instruments that feed ``/metrics``, so the two can never
+drift apart.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "global_registry",
+]
+
+#: Latency-flavoured bucket bounds (seconds), chosen to straddle the
+#: platform's real scales: sub-ms store reads up to minute-long tunes.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+def _format_value(value) -> str:
+    """One exposition-format sample value.
+
+    Integers render bare (byte-compatible with the pre-registry
+    ``repro_server_*``/``repro_store_*`` lines); floats use ``%g``.
+    """
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:g}"
+
+
+class _Instrument:
+    """Name + grouping metadata shared by every instrument kind."""
+
+    def __init__(self, name: str, group: "str | None", short: "str | None"):
+        self.name = name
+        self.group = group
+        self.short = short if short is not None else name
+
+    def render(self) -> "list[str]":  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def snapshot(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count."""
+
+    def __init__(self, name, group=None, short=None) -> None:
+        super().__init__(name, group, short)
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def snapshot(self):
+        return self._value
+
+    def render(self) -> "list[str]":
+        return [f"{self.name} {_format_value(self._value)}"]
+
+
+class Gauge(_Instrument):
+    """A point-in-time value: either set directly or read via callback.
+
+    Callback gauges (``fn=...``) are how existing mutable counters --
+    :class:`~repro.server.stats.ServerStats` fields, store and runner
+    counters -- become registry instruments without double bookkeeping:
+    the instrument *reads* the live counter at render time.
+    """
+
+    def __init__(self, name, fn=None, group=None, short=None) -> None:
+        super().__init__(name, group, short)
+        self._fn = fn
+        self._value = 0
+
+    def set(self, value) -> None:
+        self._fn = None
+        self._value = value
+
+    def set_fn(self, fn) -> None:
+        self._fn = fn
+
+    @property
+    def value(self):
+        return self._fn() if self._fn is not None else self._value
+
+    def snapshot(self):
+        return self.value
+
+    def render(self) -> "list[str]":
+        return [f"{self.name} {_format_value(self.value)}"]
+
+
+class Histogram(_Instrument):
+    """Fixed-bound buckets with Prometheus ``le`` (inclusive) semantics.
+
+    An observation equal to a bound lands in that bound's bucket;
+    anything above the last bound only lands in ``+Inf``.  Bucket counts
+    render cumulatively, exactly like a Prometheus histogram series.
+    """
+
+    def __init__(
+        self, name, buckets=DEFAULT_BUCKETS, group=None, short=None
+    ) -> None:
+        super().__init__(name, group, short)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot: > max bound
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def bucket_counts(self) -> "dict[str, int]":
+        """Cumulative count per ``le`` bound (``+Inf`` last)."""
+        out = {}
+        cumulative = 0
+        for bound, count in zip(self.bounds, self._counts):
+            cumulative += count
+            out[f"{bound:g}"] = cumulative
+        out["+Inf"] = self._count
+        return out
+
+    def snapshot(self):
+        return {
+            "buckets": self.bucket_counts(),
+            "sum": self._sum,
+            "count": self._count,
+        }
+
+    def render(self) -> "list[str]":
+        lines = [
+            f'{self.name}_bucket{{le="{le}"}} {count}'
+            for le, count in self.bucket_counts().items()
+        ]
+        lines.append(f"{self.name}_sum {_format_value(self._sum)}")
+        lines.append(f"{self.name}_count {self._count}")
+        return lines
+
+
+class MetricsRegistry:
+    """An ordered set of named instruments with one canonical renderer."""
+
+    def __init__(self) -> None:
+        self._instruments: "dict[str, _Instrument]" = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, kind, name, factory):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise TypeError(
+                        f"metric {name!r} is already registered as "
+                        f"{type(existing).__name__}, not {kind.__name__}"
+                    )
+                return existing
+            instrument = factory()
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name, group=None, short=None) -> Counter:
+        return self._get_or_create(
+            Counter, name, lambda: Counter(name, group, short)
+        )
+
+    def gauge(self, name, fn=None, group=None, short=None) -> Gauge:
+        gauge = self._get_or_create(
+            Gauge, name, lambda: Gauge(name, fn, group, short)
+        )
+        if fn is not None and gauge._fn is not fn:
+            # Re-registration binds the gauge to the newest live counter
+            # (a fresh runner replacing a finished one's instruments).
+            gauge.set_fn(fn)
+        return gauge
+
+    def histogram(
+        self, name, buckets=DEFAULT_BUCKETS, group=None, short=None
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, lambda: Histogram(name, buckets, group, short)
+        )
+
+    def get(self, name) -> "_Instrument | None":
+        return self._instruments.get(name)
+
+    def names(self) -> "tuple[str, ...]":
+        return tuple(self._instruments)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+    def render(self) -> str:
+        """The Prometheus text exposition of every instrument.
+
+        Registration order is preserved, so a registry built over the
+        legacy ``ServerStats``/``StoreStats`` payload fields renders
+        byte-identical ``/metrics`` output to the hand-rolled renderer
+        it replaced.
+        """
+        lines: "list[str]" = []
+        for instrument in self._instruments.values():
+            lines.extend(instrument.render())
+        return "\n".join(lines) + "\n"
+
+    def grouped_snapshot(self) -> dict:
+        """``{group: {short_name: value}}`` over grouped instruments.
+
+        Instruments registered without a ``group`` are skipped: the
+        grouped snapshot is the server's ``/stats`` JSON body, whose
+        shape predates the registry and must stay stable.
+        """
+        out: dict = {}
+        for instrument in self._instruments.values():
+            if instrument.group is None:
+                continue
+            out.setdefault(instrument.group, {})[
+                instrument.short
+            ] = instrument.snapshot()
+        return out
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-global registry (runner/worker instruments).
+
+    Telemetry-off code paths never register here -- asserted by tests --
+    so the disabled platform carries no instrument bookkeeping at all.
+    """
+    return _GLOBAL

@@ -1,0 +1,170 @@
+"""Trace replay: load an NDJSON trace and render its time breakdown.
+
+The ``repro trace <run>`` CLI verb lands here: resolve a token (a trace
+id or prefix, a file path, or ``latest``) to a trace file, parse its
+records, and print a per-phase breakdown -- span names aggregated with
+call counts, total and *self* wall time (total minus direct children),
+plus the sampled top time sinks when profile records are present.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .trace import default_export_dir
+
+__all__ = [
+    "resolve_trace",
+    "load_records",
+    "render_trace",
+]
+
+
+def resolve_trace(
+    token: str = "latest", directory: "Path | str | None" = None
+) -> Path:
+    """The trace file a CLI token names.
+
+    Accepts an explicit path, a trace id (or unambiguous prefix) under
+    ``directory``, or ``latest`` (newest trace file by mtime).  Raises
+    ``FileNotFoundError``/``ValueError`` with actionable messages.
+    """
+    as_path = Path(token)
+    if as_path.is_file():
+        return as_path
+    directory = Path(
+        directory if directory is not None else default_export_dir()
+    )
+    traces = sorted(directory.glob("trace-*.ndjson"))
+    if not traces:
+        raise FileNotFoundError(
+            f"no trace files under {directory} "
+            f"(run with --telemetry or REPRO_TELEMETRY=1 first)"
+        )
+    if token == "latest":
+        return max(traces, key=lambda p: p.stat().st_mtime)
+    matches = [
+        p for p in traces
+        if p.name[len("trace-"):-len(".ndjson")].startswith(token)
+    ]
+    if not matches:
+        raise FileNotFoundError(
+            f"no trace matching {token!r} under {directory}; "
+            f"have: {', '.join(p.name for p in traces)}"
+        )
+    if len(matches) > 1:
+        raise ValueError(
+            f"trace prefix {token!r} is ambiguous: "
+            f"{', '.join(p.name for p in matches)}"
+        )
+    return matches[0]
+
+
+def load_records(path: "Path | str") -> "list[dict]":
+    """Parsed NDJSON records, skipping a torn (crash-truncated) tail."""
+    records = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # a torn final line from a killed writer
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def _phase_rows(spans: "list[dict]") -> "list[dict]":
+    """Per-name aggregation with self-time (total minus direct children)."""
+    duration_by_id = {
+        sp["span_id"]: sp["duration_s"] for sp in spans
+    }
+    children_s: "dict[str, float]" = {}
+    for sp in spans:
+        parent = sp.get("parent_id")
+        if parent in duration_by_id:
+            children_s[parent] = (
+                children_s.get(parent, 0.0) + sp["duration_s"]
+            )
+    rows: "dict[str, dict]" = {}
+    for sp in spans:
+        row = rows.setdefault(
+            sp["name"], {"name": sp["name"], "calls": 0,
+                         "total_s": 0.0, "self_s": 0.0},
+        )
+        row["calls"] += 1
+        row["total_s"] += sp["duration_s"]
+        row["self_s"] += max(
+            0.0, sp["duration_s"] - children_s.get(sp["span_id"], 0.0)
+        )
+    return sorted(rows.values(), key=lambda r: -r["total_s"])
+
+
+def trace_summary(records: "list[dict]") -> dict:
+    """Machine-readable digest of one trace (the CLI renders this)."""
+    spans = [r for r in records if r.get("kind") == "span"]
+    profiles = [r for r in records if r.get("kind") == "profile"]
+    trace_ids = sorted({
+        r["trace_id"] for r in records if r.get("trace_id")
+    })
+    if spans:
+        start = min(sp["start_s"] for sp in spans)
+        end = max(sp["start_s"] + sp["duration_s"] for sp in spans)
+        wall_s = max(0.0, end - start)
+    else:
+        wall_s = 0.0
+    sites: "dict[str, int]" = {}
+    for profile in profiles:
+        for site, count in profile.get("sites", []):
+            sites[site] = sites.get(site, 0) + count
+    return {
+        "trace_ids": trace_ids,
+        "spans": len(spans),
+        "processes": len({sp.get("pid") for sp in spans}),
+        "wall_s": wall_s,
+        "phases": _phase_rows(spans),
+        "profile_samples": sum(p.get("samples", 0) for p in profiles),
+        "profile_sites": sorted(
+            sites.items(), key=lambda kv: -kv[1]
+        )[:15],
+    }
+
+
+def render_trace(records: "list[dict]", path: "Path | None" = None) -> str:
+    """The human breakdown ``repro trace`` prints."""
+    digest = trace_summary(records)
+    ids = digest["trace_ids"]
+    head = ids[0] if len(ids) == 1 else f"{len(ids)} trace ids(!)"
+    lines = [
+        f"trace {head}: {digest['spans']} spans across "
+        f"{digest['processes']} process"
+        f"{'' if digest['processes'] == 1 else 'es'}, "
+        f"{digest['wall_s']:.3f}s wall"
+        + (f"  [{path}]" if path is not None else "")
+    ]
+    if digest["phases"]:
+        lines.append(
+            f"  {'phase':24s} {'calls':>6s} {'total s':>9s} "
+            f"{'self s':>9s} {'%wall':>6s}"
+        )
+        wall = digest["wall_s"] or 1.0
+        for row in digest["phases"]:
+            lines.append(
+                f"  {row['name']:24s} {row['calls']:6d} "
+                f"{row['total_s']:9.3f} {row['self_s']:9.3f} "
+                f"{100.0 * row['total_s'] / wall:5.1f}%"
+            )
+    else:
+        lines.append("  (no spans)")
+    if digest["profile_samples"]:
+        lines.append(
+            f"  sampled top time sinks "
+            f"({digest['profile_samples']} samples):"
+        )
+        for site, count in digest["profile_sites"]:
+            share = 100.0 * count / digest["profile_samples"]
+            lines.append(f"    {share:5.1f}%  {site}")
+    return "\n".join(lines)

@@ -56,6 +56,8 @@ import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
+from repro.telemetry import span as _span
+
 from .anneal import AnnealingSearch
 from .bisect import BisectionSearch
 from .castaware import CastAwareSearch
@@ -256,7 +258,12 @@ class TuningStrategy(ABC):
     def solve(self, problem: TuningProblem) -> TuningReport:
         """Run :meth:`search` under evaluation/wall-time accounting."""
         start = time.perf_counter()
-        result = self.search(problem)
+        with _span("tuning.solve") as sp:
+            result = self.search(problem)
+            if sp is not None:
+                sp.attrs["strategy"] = self.name
+                sp.attrs["program"] = problem.program.name
+                sp.attrs["evaluations"] = result.evaluations
         return TuningReport(
             strategy=self.name,
             result=result,

@@ -38,6 +38,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.core import BINARY64, FPFormat
+from repro.telemetry import span as _span
 
 from .mapping import MAX_PRECISION_BITS, TypeSystem
 from .sqnr import sqnr_db
@@ -225,8 +226,20 @@ class DistributedSearch:
                     f"{self._program.name}: evaluation budget of "
                     f"{self._budget} exhausted"
                 )
-            output = self._program.run(self._binding(precisions), input_id)
-            self._cache[key] = sqnr_db(self._reference(input_id), output)
+            # Only *uncached* evaluations get a span: they are the ones
+            # that cost a program execution (attrs are set post-hoc so
+            # the telemetry-off path computes nothing extra).
+            with _span("tuning.evaluate") as sp:
+                output = self._program.run(
+                    self._binding(precisions), input_id
+                )
+                self._cache[key] = sqnr_db(
+                    self._reference(input_id), output
+                )
+                if sp is not None:
+                    sp.attrs["program"] = self._program.name
+                    sp.attrs["input"] = input_id
+                    sp.attrs["sqnr_db"] = float(self._cache[key])
             self.evaluations += 1
         return self._cache[key]
 

@@ -1,0 +1,18 @@
+"""Isolation for the telemetry tests.
+
+Telemetry state is process-global by design (one trace per process, one
+global registry); every test here gets a clean slate afterwards so
+enabling tracing in one test can never leak spans -- or registered
+instruments -- into the next.
+"""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def telemetry_isolation():
+    yield
+    telemetry.disable()
+    telemetry.global_registry().clear()

@@ -1,0 +1,147 @@
+"""The metrics registry: instruments, exposition rendering, snapshots."""
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.render() == ["c 5"]
+
+
+class TestGauge:
+    def test_set_value(self):
+        gauge = Gauge("g")
+        gauge.set(7)
+        assert gauge.value == 7
+        assert gauge.render() == ["g 7"]
+
+    def test_callback_reads_live_state(self):
+        state = {"n": 0}
+        gauge = Gauge("g", fn=lambda: state["n"])
+        state["n"] = 3
+        assert gauge.value == 3
+        state["n"] = 9
+        assert gauge.render() == ["g 9"]
+
+    def test_float_values_render_compactly(self):
+        gauge = Gauge("g")
+        gauge.set(0.25)
+        assert gauge.render() == ["g 0.25"]
+
+
+class TestHistogram:
+    def test_le_bound_is_inclusive(self):
+        hist = Histogram("h", buckets=(0.1, 1.0))
+        hist.observe(0.1)  # exactly on a bound -> that bucket
+        assert hist.bucket_counts() == {"0.1": 1, "1": 1, "+Inf": 1}
+
+    def test_below_first_bound(self):
+        hist = Histogram("h", buckets=(0.1, 1.0))
+        hist.observe(0.0001)
+        assert hist.bucket_counts()["0.1"] == 1
+
+    def test_above_last_bound_lands_only_in_inf(self):
+        hist = Histogram("h", buckets=(0.1, 1.0))
+        hist.observe(5.0)
+        assert hist.bucket_counts() == {"0.1": 0, "1": 0, "+Inf": 1}
+        assert hist.count == 1
+        assert hist.sum == 5.0
+
+    def test_bucket_counts_are_cumulative(self):
+        hist = Histogram("h", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 2.0):
+            hist.observe(value)
+        assert hist.bucket_counts() == {
+            "0.1": 1, "1": 3, "10": 4, "+Inf": 4,
+        }
+
+    def test_unsorted_bounds_are_sorted(self):
+        hist = Histogram("h", buckets=(1.0, 0.1))
+        assert hist.bounds == (0.1, 1.0)
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_render_exposition_series(self):
+        hist = Histogram("h", buckets=(0.5,))
+        hist.observe(0.25)
+        hist.observe(2.0)
+        assert hist.render() == [
+            'h_bucket{le="0.5"} 1',
+            'h_bucket{le="+Inf"} 2',
+            "h_sum 2.25",
+            "h_count 2",
+        ]
+
+    def test_snapshot_shape(self):
+        hist = Histogram("h", buckets=(0.5,))
+        hist.observe(0.1)
+        assert hist.snapshot() == {
+            "buckets": {"0.5": 1, "+Inf": 1},
+            "sum": 0.1,
+            "count": 1,
+        }
+
+    def test_default_buckets_straddle_platform_scales(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 60.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_gauge_reregistration_rebinds_callback(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", fn=lambda: 1)
+        rebound = registry.gauge("g", fn=lambda: 2)
+        assert rebound.value == 2
+
+    def test_render_preserves_registration_order(self):
+        registry = MetricsRegistry()
+        registry.gauge("b", fn=lambda: 1)
+        registry.gauge("a", fn=lambda: 2)
+        assert registry.render() == "b 1\na 2\n"
+
+    def test_grouped_snapshot_skips_ungrouped(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_server_requests",
+                       fn=lambda: 3, group="server", short="requests")
+        registry.counter("loose")
+        assert registry.grouped_snapshot() == {
+            "server": {"requests": 3}
+        }
+
+    def test_clear_and_names(self):
+        registry = MetricsRegistry()
+        registry.counter("one")
+        registry.counter("two")
+        assert registry.names() == ("one", "two")
+        assert len(registry) == 2
+        registry.clear()
+        assert len(registry) == 0
+
+    def test_global_registry_is_a_singleton(self):
+        assert global_registry() is global_registry()

@@ -1,0 +1,63 @@
+"""The sampling profiler and its worker-facing scope."""
+
+import json
+import time
+
+from repro import telemetry
+from repro.telemetry import SamplingProfiler, profile_scope
+
+
+def spin(seconds):
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(range(100))
+
+
+class TestSamplingProfiler:
+    def test_samples_a_busy_thread(self):
+        with SamplingProfiler(interval_s=0.001) as profiler:
+            spin(0.05)
+        assert profiler.samples > 0
+        site, count = profiler.top(1)[0]
+        assert count > 0
+        assert "(" in site and ":" in site  # "func (file.py:line)"
+
+
+class TestProfileScope:
+    def test_noop_when_disabled(self):
+        with profile_scope() as handle:
+            assert handle is None
+
+    def test_emits_profile_record_for_long_jobs(self, tmp_path):
+        telemetry.enable(export_dir=tmp_path)
+        with telemetry.span("worker.job"):
+            with profile_scope(label="flow conv"):
+                spin(0.08)
+        telemetry.flush()
+        (path,) = tmp_path.glob("trace-*.ndjson")
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        profiles = [r for r in records if r["kind"] == "profile"]
+        assert len(profiles) == 1
+        profile = profiles[0]
+        assert profile["label"] == "flow conv"
+        assert profile["samples"] >= 1
+        assert profile["sites"]
+        # Correlated to the enclosing worker.job span.
+        span = next(r for r in records if r["kind"] == "span")
+        assert profile["span_id"] == span["span_id"]
+        assert profile["trace_id"] == span["trace_id"]
+
+    def test_sub_interval_jobs_emit_nothing(self, tmp_path):
+        telemetry.enable(export_dir=tmp_path)
+        with profile_scope():
+            pass  # finishes long before the first 5 ms sample
+        telemetry.flush()
+        paths = list(tmp_path.glob("trace-*.ndjson"))
+        records = []
+        for path in paths:
+            records += [
+                json.loads(line) for line in path.read_text().splitlines()
+            ]
+        assert not [r for r in records if r["kind"] == "profile"]

@@ -1,0 +1,73 @@
+"""Server /stats and /metrics both render from one registry.
+
+The exposition names here are a compatibility surface: dashboards
+scrape ``repro_server_*`` / ``repro_store_*`` and the names must not
+drift when the registry (rather than hand-rolled rendering) produces
+them.
+"""
+
+from repro import telemetry
+from repro.server.app import JobServer
+
+SERVER_SHORTS = (
+    "requests", "bad_requests", "not_modified", "computed",
+    "store_hits", "deduped", "failed", "in_flight",
+)
+STORE_SHORTS = ("hits", "misses", "corrupt", "repaired", "migrated",
+                "deduped")
+
+
+def make_server(tmp_path):
+    return JobServer(
+        store_dir=tmp_path / "store", cache_dir=tmp_path / "cache"
+    )
+
+
+class TestNameCompatibility:
+    def test_exposition_names_and_order(self, tmp_path):
+        server = make_server(tmp_path)
+        lines = server.metrics_text().splitlines()
+        names = [line.rsplit(" ", 1)[0] for line in lines]
+        assert names == (
+            [f"repro_server_{n}" for n in SERVER_SHORTS]
+            + [f"repro_store_{n}" for n in STORE_SHORTS]
+        )
+        # Fresh server: every counter renders as a bare integer zero.
+        assert all(line.endswith(" 0") for line in lines)
+
+    def test_stats_payload_shape(self, tmp_path):
+        server = make_server(tmp_path)
+        snapshot = server.registry.grouped_snapshot()
+        assert list(snapshot) == ["server", "store"]
+        assert tuple(snapshot["server"]) == SERVER_SHORTS
+        assert tuple(snapshot["store"]) == STORE_SHORTS
+
+    def test_gauges_read_live_counters(self, tmp_path):
+        server = make_server(tmp_path)
+        server.stats.requests += 3
+        server.stats.computed += 1
+        snapshot = server.registry.grouped_snapshot()
+        assert snapshot["server"]["requests"] == 3
+        assert snapshot["server"]["computed"] == 1
+        assert "repro_server_requests 3" in server.metrics_text()
+
+
+class TestTelemetryOnExtras:
+    def test_request_latency_histogram_joins_exposition(self, tmp_path):
+        telemetry.enable(export_dir=tmp_path / "telemetry")
+        server = make_server(tmp_path)
+        assert server._request_seconds is not None
+        server._request_seconds.observe(0.002)
+        text = server.metrics_text()
+        assert 'repro_server_request_seconds_bucket{le="' in text
+        assert "repro_server_request_seconds_count 1" in text
+        assert (
+            server.registry.grouped_snapshot()["telemetry"][
+                "request_seconds"
+            ]["count"] == 1
+        )
+
+    def test_off_server_has_no_histogram(self, tmp_path):
+        server = make_server(tmp_path)
+        assert server._request_seconds is None
+        assert "request_seconds" not in server.metrics_text()

@@ -1,0 +1,273 @@
+"""Tracing: span lifecycle, export, propagation, and the off path."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import trace as trace_mod
+
+
+def read_spans(path):
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+class TestDisabled:
+    def test_span_is_the_shared_null_scope(self):
+        assert telemetry.span("anything") is trace_mod._NULL
+        with telemetry.span("anything") as sp:
+            assert sp is None
+
+    def test_start_span_returns_none(self):
+        assert telemetry.start_span("x") is None
+        telemetry.end_span(None)  # must be a silent no-op
+
+    def test_current_ids_are_none(self):
+        assert telemetry.current_ids() == (None, None)
+        assert telemetry.trace_id() is None
+        assert telemetry.trace_path() is None
+
+    def test_write_record_is_dropped(self, tmp_path):
+        telemetry.write_record({"kind": "profile"})
+        telemetry.flush()
+        assert not list(tmp_path.iterdir())
+
+    def test_propagation_payload_is_none(self):
+        assert telemetry.propagation_payload() is None
+
+
+class TestEnable:
+    def test_enable_mints_32_hex_trace_id(self, tmp_path):
+        tid = telemetry.enable(export_dir=tmp_path)
+        assert len(tid) == 32
+        int(tid, 16)
+        assert telemetry.enabled()
+        assert telemetry.trace_path() == tmp_path / f"trace-{tid}.ndjson"
+
+    def test_enable_is_idempotent(self, tmp_path):
+        first = telemetry.enable(export_dir=tmp_path)
+        second = telemetry.enable(export_dir=tmp_path / "elsewhere")
+        assert first == second
+
+    @pytest.mark.parametrize("raw", ["", "0", "false", "no", "off"])
+    def test_falsy_env_values_stay_off(self, raw):
+        assert telemetry.enable_from_env({telemetry.ENV_VAR: raw}) is None
+        assert not telemetry.enabled()
+
+    def test_truthy_env_value_enables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(telemetry.DIR_ENV_VAR, str(tmp_path))
+        tid = telemetry.enable_from_env({telemetry.ENV_VAR: "1"})
+        assert tid is not None
+        assert telemetry.enabled()
+
+    def test_disable_resets(self, tmp_path):
+        telemetry.enable(export_dir=tmp_path)
+        telemetry.disable()
+        assert not telemetry.enabled()
+        assert telemetry.span("x") is trace_mod._NULL
+
+
+class TestSpans:
+    def test_nesting_builds_parent_links(self, tmp_path):
+        telemetry.enable(export_dir=tmp_path)
+        with telemetry.span("outer") as outer:
+            with telemetry.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+            assert telemetry.current_ids() == (
+                outer.trace_id, outer.span_id
+            )
+        telemetry.flush()
+        spans = read_spans(telemetry.trace_path())
+        by_name = {sp["name"]: sp for sp in spans}
+        assert by_name["outer"]["parent_id"] is None
+        assert by_name["inner"]["parent_id"] == (
+            by_name["outer"]["span_id"]
+        )
+        assert all(sp["duration_s"] >= 0.0 for sp in spans)
+
+    def test_attrs_and_error_marking(self, tmp_path):
+        telemetry.enable(export_dir=tmp_path)
+        with pytest.raises(RuntimeError):
+            with telemetry.span("boom", phase="x") as sp:
+                sp.attrs["extra"] = 1
+                raise RuntimeError("nope")
+        telemetry.flush()
+        (span,) = read_spans(telemetry.trace_path())
+        assert span["attrs"] == {
+            "phase": "x", "extra": 1, "error": "RuntimeError"
+        }
+
+    def test_unpushed_span_stays_off_the_context_stack(self, tmp_path):
+        telemetry.enable(export_dir=tmp_path)
+        sp = telemetry.start_span("server.request", push=False)
+        tid, sid = telemetry.current_ids()
+        assert sid is None  # not this thread's innermost context
+        telemetry.end_span(sp)
+        telemetry.flush()
+        assert len(read_spans(telemetry.trace_path())) == 1
+
+    def test_export_buffers_until_flush(self, tmp_path):
+        telemetry.enable(export_dir=tmp_path)
+        with telemetry.span("one"):
+            pass
+        assert not telemetry.trace_path().exists()
+        telemetry.flush()
+        assert telemetry.trace_path().exists()
+
+    def test_new_ids_are_unique(self):
+        ids = {trace_mod.new_id() for _ in range(1000)}
+        assert len(ids) == 1000
+
+
+class TestWorkerScope:
+    def test_adopts_remote_parent(self, tmp_path):
+        telemetry.enable(export_dir=tmp_path)
+        with telemetry.span("root") as root:
+            payload = telemetry.propagation_payload()
+        assert payload["trace_id"] == root.trace_id
+        assert payload["parent_span_id"] == root.span_id
+
+        with telemetry.worker_scope(payload) as tid:
+            assert tid == root.trace_id
+            with telemetry.span("worker.job") as job:
+                assert job.trace_id == root.trace_id
+                assert job.parent_id == root.span_id
+        # The remote parent never outlives the scope.
+        assert telemetry.current_ids() == (root.trace_id, None)
+
+    def test_none_payload_is_a_no_op(self):
+        with telemetry.worker_scope(None) as tid:
+            assert tid is None
+        assert not telemetry.enabled()
+
+    def test_cross_process_scope_flushes_on_exit(self, tmp_path):
+        # pid 0 marks the payload as built by another process -- the
+        # pool-worker case, which must flush before the job returns.
+        payload = {
+            "enabled": True,
+            "export_dir": str(tmp_path),
+            "trace_id": "ab" * 16,
+            "parent_span_id": "cd" * 8,
+            "pid": 0,
+        }
+        with telemetry.worker_scope(payload):
+            with telemetry.span("worker.job"):
+                pass
+        spans = read_spans(tmp_path / f"trace-{'ab' * 16}.ndjson")
+        assert spans[0]["trace_id"] == "ab" * 16
+        assert spans[0]["parent_id"] == "cd" * 8
+
+    def test_same_process_scope_defers_the_flush(self, tmp_path):
+        # In-process executors (the server's thread pool) skip per-job
+        # file I/O; the owning process flushes at shutdown.
+        telemetry.enable(export_dir=tmp_path)
+        payload = telemetry.propagation_payload()
+        with telemetry.worker_scope(payload):
+            with telemetry.span("worker.job"):
+                pass
+        assert not telemetry.trace_path().exists()
+        telemetry.flush()
+        assert len(read_spans(telemetry.trace_path())) == 1
+
+
+class TestReport:
+    def make_trace(self, tmp_path, tid="a1" * 16):
+        path = tmp_path / f"trace-{tid}.ndjson"
+        spans = [
+            {"kind": "span", "trace_id": tid, "span_id": "p" * 16,
+             "parent_id": None, "name": "runner.run", "start_s": 0.0,
+             "duration_s": 2.0, "pid": 1, "attrs": {}},
+            {"kind": "span", "trace_id": tid, "span_id": "c" * 16,
+             "parent_id": "p" * 16, "name": "worker.job",
+             "start_s": 0.5, "duration_s": 1.0, "pid": 2, "attrs": {}},
+        ]
+        path.write_text(
+            "\n".join(json.dumps(sp) for sp in spans) + "\n"
+        )
+        return path
+
+    def test_resolve_latest_and_prefix(self, tmp_path):
+        path = self.make_trace(tmp_path)
+        assert telemetry.resolve_trace("latest", tmp_path) == path
+        assert telemetry.resolve_trace("a1a1", tmp_path) == path
+
+    def test_resolve_ambiguous_prefix_raises(self, tmp_path):
+        self.make_trace(tmp_path, tid="a1" * 16)
+        self.make_trace(tmp_path, tid="a1b2" + "00" * 14)
+        with pytest.raises(ValueError):
+            telemetry.resolve_trace("a1", tmp_path)
+
+    def test_resolve_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            telemetry.resolve_trace("latest", tmp_path)
+        self.make_trace(tmp_path)
+        with pytest.raises(FileNotFoundError):
+            telemetry.resolve_trace("ffff", tmp_path)
+
+    def test_summary_self_time_subtracts_children(self, tmp_path):
+        path = self.make_trace(tmp_path)
+        digest = telemetry.trace_summary(telemetry.load_records(path))
+        rows = {row["name"]: row for row in digest["phases"]}
+        assert rows["runner.run"]["self_s"] == pytest.approx(1.0)
+        assert rows["worker.job"]["self_s"] == pytest.approx(1.0)
+        assert digest["wall_s"] == pytest.approx(2.0)
+        assert digest["processes"] == 2
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        path = self.make_trace(tmp_path)
+        with path.open("a") as handle:
+            handle.write('{"kind": "span", "trunca')
+        assert len(telemetry.load_records(path)) == 2
+
+    def test_render_mentions_every_phase(self, tmp_path):
+        path = self.make_trace(tmp_path)
+        text = telemetry.render_trace(telemetry.load_records(path), path)
+        assert "runner.run" in text
+        assert "worker.job" in text
+        assert "2 spans" in text
+
+
+class TestLedgerCorrelation:
+    def test_event_payload_roundtrip(self):
+        from repro.runner import LedgerEvent
+
+        event = LedgerEvent(
+            "attempt", "flow conv", 1, "detail", "t" * 32, "s" * 16
+        )
+        assert LedgerEvent.from_payload(event.to_payload()) == event
+
+    def test_old_payload_loads_with_none_ids(self):
+        from repro.runner import LedgerEvent
+
+        event = LedgerEvent.from_payload({
+            "event": "retry", "job": "x", "attempt": 0, "detail": "",
+        })
+        assert event.trace_id is None
+        assert event.span_id is None
+
+    def test_record_stamps_active_trace(self, tmp_path):
+        from repro.runner import RunLedger
+
+        ledger = RunLedger()
+        ledger.record("attempt")
+        assert ledger.events[-1].trace_id is None
+
+        telemetry.enable(export_dir=tmp_path)
+        with telemetry.span("runner.run") as sp:
+            ledger.record("attempt")
+        assert ledger.events[-1].trace_id == sp.trace_id
+        assert ledger.events[-1].span_id == sp.span_id
+
+    def test_ledger_payload_roundtrip(self):
+        from repro.runner import RunLedger
+
+        ledger = RunLedger()
+        ledger.record("attempt", detail="one")
+        ledger.record("failure", detail="two")
+        clone = RunLedger.from_payload(ledger.to_payload())
+        assert clone.events == ledger.events
